@@ -1,0 +1,57 @@
+"""Ablation (ours): WARD-marking policies.
+
+DESIGN.md calls out the choice between the paper's §4.2 mechanism alone
+(leaf pages, unmark at forks) and our default that additionally scopes
+construct outputs (tabulate/scatter) as WARD regions.  This harness
+quantifies the difference, plus the NONE policy as a sanity floor (WARDen
+with no regions must behave like MESI).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.analysis.metrics import compare_multi, geomean
+from repro.analysis.run import run_pairs
+from repro.analysis.tables import render_table
+from repro.common.config import dual_socket
+from repro.hlpl.policy import MarkingPolicy
+
+SUBSET = ["primes", "msort", "make_array", "grep", "suffix-array", "tokens"]
+
+
+def test_ablation_marking_policies(benchmark, size):
+    config = dual_socket()
+
+    def run():
+        out = {}
+        for policy in MarkingPolicy:
+            metrics = [
+                compare_multi(run_pairs(name, config, size=size, policy=policy))
+                for name in SUBSET
+            ]
+            out[policy] = metrics
+        return out
+
+    results = once(benchmark, run)
+    rows = []
+    for policy, metrics in results.items():
+        rows.append(
+            [policy.value, geomean(m.speedup for m in metrics)]
+            + [f"{m.speedup:.2f}" for m in metrics]
+        )
+    emit(
+        "ablation_policies",
+        render_table(
+            ["Policy", "geomean"] + SUBSET,
+            rows,
+            title="Ablation: WARD-marking policy (dual socket, speedup vs MESI)",
+        ),
+    )
+
+    none = geomean(m.speedup for m in results[MarkingPolicy.NONE])
+    full = geomean(m.speedup for m in results[MarkingPolicy.FULL])
+    # no regions -> WARDen degenerates to MESI: speedup ~1.0
+    assert none == pytest.approx(1.0, abs=0.1 if size == "test" else 0.05)
+    if size != "test":
+        # construct marking is where the wins come from
+        assert full > none

@@ -1,0 +1,30 @@
+"""§6.1 hardware-cost estimates (CACTI substitute): sectoring area and the
+WARD-region CAM."""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.tables import render_table
+from repro.common.config import dual_socket
+from repro.energy.cacti import region_cam_area_overhead, sectoring_area_overhead
+
+
+def test_area_overheads(benchmark):
+    def run():
+        return (
+            sectoring_area_overhead(64),
+            region_cam_area_overhead(dual_socket(), 1024),
+        )
+
+    sectoring, cam = once(benchmark, run)
+    emit(
+        "area",
+        render_table(
+            ["Structure", "This repro", "Paper"],
+            [
+                ["byte sectoring (64B blocks)", f"{sectoring:.1%}", "7.9%"],
+                ["1024-entry region CAM", f"{cam:.4%}", "<0.05%"],
+            ],
+            title="§6.1 area overheads",
+        ),
+    )
+    assert abs(sectoring - 0.079) < 0.005
+    assert cam < 0.0005

@@ -1,0 +1,20 @@
+"""Figure 10: share of the coherence-event reduction that is downgrades vs
+invalidations, per benchmark."""
+
+from benchmarks.bench_fig8_dual_socket import dual_socket_metrics
+from benchmarks.conftest import emit, once
+from repro.analysis.tables import figure10
+
+
+def test_fig10_downgrade_invalidation_breakdown(benchmark, size):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+    emit("fig10", figure10(metrics))
+
+    for m in metrics:
+        total = m.downgrade_reduction_pct + m.invalidation_reduction_pct
+        # percentages are a partition of the total reduction (or 0/0)
+        assert total == 0 or abs(total - 100.0) < 1e-6
+    # invalidations dominate raw counts (stores are frequent), yet some
+    # benchmarks are downgrade-heavy — both classes must be represented
+    assert any(m.downgrade_reduction_pct > 30 for m in metrics)
+    assert any(m.invalidation_reduction_pct > 30 for m in metrics)

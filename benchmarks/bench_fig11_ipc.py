@@ -1,0 +1,16 @@
+"""Figure 11: percentage IPC improvement under WARDen (dual socket)."""
+
+from benchmarks.bench_fig8_dual_socket import dual_socket_metrics
+from benchmarks.conftest import emit, once
+from repro.analysis.metrics import mean
+from repro.analysis.tables import figure11
+
+
+def test_fig11_ipc_improvement(benchmark, size):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+    emit("fig11", figure11(metrics))
+
+    if size == "test":
+        return
+    # benchmarks that avoid blocking downgrades retire instructions faster
+    assert mean(m.ipc_improvement_pct for m in metrics) > 0

@@ -1,0 +1,38 @@
+"""Figure 12: the disaggregated two-node machine (1 us remote access).
+
+The paper evaluates the most promising benchmarks (dmm, grep, nn,
+palindrome) and finds the benefits grow with the remote-access cost,
+especially in network energy."""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.metrics import compare_multi, summarize
+from repro.analysis.run import run_pairs
+from repro.analysis.tables import speedup_energy_figure
+from repro.bench import DISAGGREGATED_SUBSET
+from repro.common.config import disaggregated
+
+
+def test_fig12_disaggregated(benchmark, size):
+    config = disaggregated()
+
+    def run():
+        return [
+            compare_multi(run_pairs(name, config, size=size))
+            for name in DISAGGREGATED_SUBSET
+        ]
+
+    metrics = once(benchmark, run)
+    emit(
+        "fig12",
+        speedup_energy_figure(
+            metrics, "Figure 12: performance and energy gains on disaggregated"
+        ),
+    )
+    agg = summarize(metrics)
+    if size == "test":
+        assert agg["speedup"] > 0.7
+        return
+    # coherence messages now cross a 1 us link: network savings must be
+    # positive and exceed what the same benchmarks save in total
+    assert agg["interconnect_savings"] > 0
+    assert agg["speedup"] > 0.95

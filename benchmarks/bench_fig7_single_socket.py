@@ -1,0 +1,33 @@
+"""Figure 7: performance and energy gains on the single-socket machine."""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.metrics import compare_multi, summarize
+from repro.analysis.run import run_pairs
+from repro.analysis.tables import speedup_energy_figure
+from repro.bench import PAPER_ORDER
+from repro.common.config import single_socket
+
+
+def test_fig7_single_socket(benchmark, size):
+    config = single_socket()
+
+    def run():
+        return [
+            compare_multi(run_pairs(name, config, size=size))
+            for name in PAPER_ORDER
+        ]
+
+    metrics = once(benchmark, run)
+    emit(
+        "fig7",
+        speedup_energy_figure(
+            metrics, "Figure 7: performance and energy gains on single socket"
+        ),
+    )
+    agg = summarize(metrics)
+    if size == "test":  # smoke mode
+        assert agg["speedup"] > 0.8
+        return
+    # paper: mean speedup 1.24x, mean savings ~17% — we expect the same sign
+    assert agg["speedup"] > 1.0
+    assert sum(1 for m in metrics if m.speedup >= 0.95) >= 12

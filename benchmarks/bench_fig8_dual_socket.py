@@ -1,0 +1,39 @@
+"""Figure 8: performance and energy gains on the dual-socket machine.
+
+The simulations here are shared (through the result cache) with the
+Fig. 9/10/11 analysis harnesses.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.metrics import compare_multi, summarize
+from repro.analysis.run import run_pairs
+from repro.analysis.tables import speedup_energy_figure
+from repro.bench import PAPER_ORDER
+from repro.common.config import dual_socket
+
+
+def dual_socket_metrics(size: str):
+    config = dual_socket()
+    return [
+        compare_multi(run_pairs(name, config, size=size))
+        for name in PAPER_ORDER
+    ]
+
+
+def test_fig8_dual_socket(benchmark, size):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+    emit(
+        "fig8",
+        speedup_energy_figure(
+            metrics, "Figure 8: performance and energy gains on dual socket"
+        ),
+    )
+    agg = summarize(metrics)
+    if size == "test":  # smoke mode: tiny inputs, no stable signal
+        assert agg["speedup"] > 0.8
+        return
+    # paper: mean 1.46x speedup, 52.9% interconnect / 23.1% total savings;
+    # we assert the signs and the interconnect > processor ordering
+    assert agg["speedup"] > 1.0
+    assert agg["interconnect_savings"] > 0
+    assert agg["interconnect_savings"] > agg["processor_savings"]

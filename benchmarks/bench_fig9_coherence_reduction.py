@@ -1,0 +1,32 @@
+"""Figure 9: dual-socket speedup vs avoided invalidations+downgrades.
+
+The paper's claim is a positive correlation between the reduction in costly
+coherence events (per kilo-instruction) and speedup.
+"""
+
+from benchmarks.bench_fig8_dual_socket import dual_socket_metrics
+from benchmarks.conftest import emit, once
+from repro.analysis.tables import figure9
+
+
+def pearson(xs, ys):
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs) ** 0.5
+    vy = sum((y - my) ** 2 for y in ys) ** 0.5
+    return cov / (vx * vy) if vx and vy else 0.0
+
+
+def test_fig9_reduction_vs_speedup(benchmark, size):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+    emit("fig9", figure9(metrics))
+
+    reductions = [m.inv_dg_reduced_per_kilo for m in metrics]
+    speedups = [m.speedup for m in metrics]
+    # WARDen genuinely removes coherence events almost everywhere ...
+    assert sum(1 for r in reductions if r > 0) >= (8 if size == "test" else 12)
+    if size == "test":
+        return
+    # ... and the removal correlates positively with speedup (Fig. 9's point)
+    assert pearson(reductions, speedups) > 0.0

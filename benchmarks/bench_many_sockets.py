@@ -1,0 +1,52 @@
+"""§7.3 "Many Sockets": WARDen's network savings vs machine scale.
+
+The paper expects WARDen's advantages "to become even more prevalent" as
+socket counts (and thus interconnect latencies/energies) grow.  This
+harness sweeps 1 -> 2 -> 4 sockets on two coherence-sensitive benchmarks
+and tracks the interconnect energy savings trend.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.metrics import compare_multi, mean
+from repro.analysis.run import run_pairs
+from repro.analysis.tables import render_table
+from repro.common.config import dual_socket, many_socket, single_socket
+
+SUBSET = ["grep", "msort"]
+
+
+def test_many_socket_scaling(benchmark, size):
+    configs = [single_socket(), dual_socket(), many_socket(4)]
+
+    def run():
+        rows = []
+        for config in configs:
+            metrics = [
+                compare_multi(run_pairs(name, config, size=size))
+                for name in SUBSET
+            ]
+            rows.append(
+                (
+                    config.num_sockets,
+                    mean(m.speedup for m in metrics),
+                    mean(m.interconnect_savings for m in metrics),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "many_sockets",
+        render_table(
+            ["Sockets", "Mean speedup", "Mean network savings %"],
+            rows,
+            title="§7.3: WARDen benefit vs socket count (grep, msort)",
+        ),
+    )
+    if size == "test":
+        return
+    savings = [r[2] for r in rows]
+    # multi-socket machines save more network energy than the single socket
+    assert max(savings[1:]) > savings[0]
+    # and WARDen keeps winning at scale
+    assert rows[-1][1] > 1.0

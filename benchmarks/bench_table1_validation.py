@@ -1,0 +1,24 @@
+"""Table 1: validation of the timing model against the paper's ping-pong.
+
+Regenerates the true-sharing microbenchmark (Fig. 6) in the three placement
+scenarios and compares cycles/iteration against the paper's real-hardware
+and Sniper measurements.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.tables import table1
+from repro.bench.microbench import PAPER_TABLE1, run_table1
+
+
+def test_table1_pingpong_validation(benchmark):
+    results = once(benchmark, lambda: run_table1(iterations=300))
+    emit("table1", table1(results))
+
+    same_core = results["same-core"].cycles_per_iteration
+    same_socket = results["same-socket"].cycles_per_iteration
+    cross = results["cross-socket"].cycles_per_iteration
+    # the paper's point: the scenarios separate by an order of magnitude
+    assert same_core < same_socket < cross
+    for scenario in ("same-socket", "cross-socket"):
+        ours = results[scenario].cycles_per_iteration
+        assert 0.5 < ours / PAPER_TABLE1[scenario]["sniper"] < 2.0

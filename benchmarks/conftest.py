@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-regeneration harnesses.
+
+Every harness writes its rendered table to ``benchmarks/output/`` and prints
+it (visible with ``pytest -s``).  Figures 8-11 share one set of dual-socket
+simulations through the in-process result cache, so the whole suite runs the
+expensive simulations only once.
+
+Environment knob: ``REPRO_BENCH_SIZE`` (test | small | default) selects the
+input scale; "default" reproduces the reported numbers, "test" is a fast
+smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_size() -> str:
+    return os.environ.get("REPRO_BENCH_SIZE", "default")
+
+
+@pytest.fixture(scope="session")
+def size() -> str:
+    return bench_size()
+
+
+def emit(name: str, text: str) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

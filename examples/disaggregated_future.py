@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Future machines (§7.3): how WARDen's benefit scales with interconnect cost.
+
+Runs the same benchmark (palindrome, one of the paper's Fig. 12 subset) on
+three machines — single socket, dual socket, and a disaggregated two-node
+system with 1 us remote access — and reports WARDen's speedup and network
+energy savings on each.  The paper's claim: the more expensive the
+interconnect, the more valuable it is to eliminate coherence messages.
+
+Run:  python examples/disaggregated_future.py   (takes a minute or two)
+"""
+
+from repro import compare_multi, disaggregated, dual_socket, run_pairs, single_socket
+from repro.analysis.tables import render_table
+
+BENCH = "palindrome"
+
+
+def main() -> None:
+    machines = [single_socket(), dual_socket(), disaggregated()]
+    rows = []
+    for config in machines:
+        print(f"simulating {BENCH} on {config.name}...")
+        metrics = compare_multi(run_pairs(BENCH, config, size="default"))
+        rows.append(
+            [
+                config.name,
+                metrics.speedup,
+                metrics.interconnect_savings,
+                metrics.processor_savings,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Machine", "Speedup", "Network savings %", "Processor savings %"],
+            rows,
+            title=f"WARDen vs MESI for '{BENCH}' across machine generations",
+        )
+    )
+    print("\ncoherence messages get costlier with scale -> WARDen's")
+    print("message elimination pays more (paper §7.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's flagship example (Fig. 4): a prime sieve with benign WAW races.
+
+Several threads concurrently mark composites in the shared flags array —
+write-write races, but every writer stores the same value (False), so the
+races are "apathetic" and the array satisfies the WARD property (§3.3).
+The dynamic WARD checker runs alongside and confirms: plenty of cross-thread
+WAWs, zero violations.
+
+Run:  python examples/prime_sieve_ward.py
+"""
+
+from repro import Machine, Runtime, WardChecker, dual_socket
+from repro.bench.primes import reference, sieve_task
+
+
+def count_primes(ctx, n):
+    flags = yield from sieve_task(ctx, n)
+    count = yield from ctx.reduce(
+        0, n + 1, lambda c, i: flags.get(i),
+        lambda a, b: int(a) + int(b), grain=64,
+    )
+    return count
+
+
+def main() -> None:
+    n = 3000
+    machine = Machine(dual_socket(), "warden")
+    checker = WardChecker(region_table=machine.protocol.region_table)
+    runtime = Runtime(machine, access_monitor=checker)
+
+    result, stats = runtime.run(count_primes, n)
+    expected = reference(n)
+
+    print(f"primes <= {n}: {result} (reference: {expected})")
+    assert result == expected
+
+    print(f"\nWARD checker: {checker.checked_accesses:,} accesses monitored")
+    print(f"  cross-thread WAW races observed: {checker.waw_events:,}")
+    print(f"  WARD violations (cross-thread RAW): {len(checker.violations)}")
+    assert checker.clean, "the sieve must satisfy the WARD property"
+
+    coh = stats.coherence
+    print(f"\nprotocol: {coh.ward_accesses:,} accesses served in the W state "
+          f"({coh.ward_coverage:.1%} of all accesses)")
+    print(f"  regions opened/closed: {coh.ward_region_adds}/"
+          f"{coh.ward_region_removes}")
+    print(f"  blocks reconciled: {coh.reconciled_blocks:,} "
+          f"(true sharing on {coh.reconciled_true_sharing_blocks})")
+    print("\nbenign WAWs + no cross-thread RAW = coherence safely disabled.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on environments without the
+``wheel`` package (pip's PEP-517 editable path needs bdist_wheel).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Experiment drivers: run benchmarks, compute the paper's metrics, render
+tables for every figure."""
+
+from repro.analysis.metrics import ComparisonMetrics, compare
+from repro.analysis.run import BenchResult, run_benchmark, run_pair
+
+__all__ = [
+    "BenchResult",
+    "ComparisonMetrics",
+    "compare",
+    "run_benchmark",
+    "run_pair",
+]

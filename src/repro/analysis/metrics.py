@@ -1,0 +1,152 @@
+"""The paper's derived metrics (Figs. 7-12)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.analysis.run import BenchResult
+from repro.energy.model import percent_savings
+
+
+@dataclass
+class ComparisonMetrics:
+    """Everything the paper plots for one benchmark, MESI vs WARDen."""
+
+    benchmark: str
+    #: normalized speedup (Figs. 7a/8a/12a): MESI cycles / WARDen cycles
+    speedup: float
+    #: interconnect energy savings % (Figs. 7b/8b "Interconnect"/"Network")
+    interconnect_savings: float
+    #: total processor energy savings % (Figs. 7b/8b "Total Processor")
+    processor_savings: float
+    #: (invalidations + downgrades) avoided per kilo-instruction (Fig. 9)
+    inv_dg_reduced_per_kilo: float
+    #: share of the reduction that is downgrades / invalidations (Fig. 10)
+    downgrade_reduction_pct: float
+    invalidation_reduction_pct: float
+    #: IPC improvement % (Fig. 11)
+    ipc_improvement_pct: float
+    #: fraction of accesses WARDen served from the W state (§7.2 analysis)
+    ward_coverage: float
+
+    mesi_cycles: int = 0
+    warden_cycles: int = 0
+
+
+def compare(mesi: BenchResult, warden: BenchResult) -> ComparisonMetrics:
+    if mesi.benchmark != warden.benchmark:
+        raise ValueError("comparing different benchmarks")
+    ms, ws = mesi.stats, warden.stats
+
+    inv_reduced = ms.coherence.invalidations - ws.coherence.invalidations
+    dg_reduced = ms.coherence.downgrades - ws.coherence.downgrades
+    total_reduced = inv_reduced + dg_reduced
+    kilo_instr = max(ms.instructions, 1) / 1000.0
+    if total_reduced > 0:
+        dg_pct = dg_reduced / total_reduced * 100.0
+        inv_pct = inv_reduced / total_reduced * 100.0
+    else:
+        dg_pct = inv_pct = 0.0
+
+    ipc_impr = (
+        (ws.ipc - ms.ipc) / ms.ipc * 100.0 if ms.ipc > 0 else 0.0
+    )
+
+    return ComparisonMetrics(
+        benchmark=mesi.benchmark,
+        speedup=ms.cycles / ws.cycles if ws.cycles else 0.0,
+        interconnect_savings=percent_savings(
+            ms.energy.interconnect_nj, ws.energy.interconnect_nj
+        ),
+        processor_savings=percent_savings(
+            ms.energy.processor_nj, ws.energy.processor_nj
+        ),
+        inv_dg_reduced_per_kilo=total_reduced / kilo_instr,
+        downgrade_reduction_pct=dg_pct,
+        invalidation_reduction_pct=inv_pct,
+        ipc_improvement_pct=ipc_impr,
+        ward_coverage=ws.coherence.ward_coverage,
+        mesi_cycles=ms.cycles,
+        warden_cycles=ws.cycles,
+    )
+
+
+def compare_multi(pairs: List[tuple]) -> ComparisonMetrics:
+    """Aggregate MESI/WARDen comparisons over several runs (seeds).
+
+    Quantities are summed across the runs before ratios are taken, so the
+    result behaves like one long execution — this averages out work-stealing
+    timing noise (the paper's runs are long enough to self-average; ours are
+    deliberately small, per §7.1's input-size tuning, so we sum instead).
+    """
+    if not pairs:
+        raise ValueError("need at least one run pair")
+    name = pairs[0][0].benchmark
+
+    def tot(results, fn):
+        return sum(fn(r.stats) for r in results)
+
+    mesis = [m for m, _ in pairs]
+    wards = [w for _, w in pairs]
+    m_cycles = tot(mesis, lambda s: s.cycles)
+    w_cycles = tot(wards, lambda s: s.cycles)
+    m_net = tot(mesis, lambda s: s.energy.interconnect_nj)
+    w_net = tot(wards, lambda s: s.energy.interconnect_nj)
+    m_proc = tot(mesis, lambda s: s.energy.processor_nj)
+    w_proc = tot(wards, lambda s: s.energy.processor_nj)
+    inv_red = tot(mesis, lambda s: s.coherence.invalidations) - tot(
+        wards, lambda s: s.coherence.invalidations
+    )
+    dg_red = tot(mesis, lambda s: s.coherence.downgrades) - tot(
+        wards, lambda s: s.coherence.downgrades
+    )
+    total_red = inv_red + dg_red
+    m_instr = tot(mesis, lambda s: s.instructions)
+    w_instr = tot(wards, lambda s: s.instructions)
+    threads = pairs[0][0].stats.num_threads
+    m_ipc = m_instr / (m_cycles * threads) if m_cycles else 0.0
+    w_ipc = w_instr / (w_cycles * threads) if w_cycles else 0.0
+    w_cov_n = tot(wards, lambda s: s.coherence.ward_accesses)
+    w_cov_d = max(tot(wards, lambda s: s.coherence.total_accesses), 1)
+
+    return ComparisonMetrics(
+        benchmark=name,
+        speedup=m_cycles / w_cycles if w_cycles else 0.0,
+        interconnect_savings=percent_savings(m_net, w_net),
+        processor_savings=percent_savings(m_proc, w_proc),
+        inv_dg_reduced_per_kilo=total_red / (max(m_instr, 1) / 1000.0),
+        downgrade_reduction_pct=(
+            dg_red / total_red * 100.0 if total_red > 0 else 0.0
+        ),
+        invalidation_reduction_pct=(
+            inv_red / total_red * 100.0 if total_red > 0 else 0.0
+        ),
+        ipc_improvement_pct=(w_ipc - m_ipc) / m_ipc * 100.0 if m_ipc else 0.0,
+        ward_coverage=w_cov_n / w_cov_d,
+        mesi_cycles=m_cycles,
+        warden_cycles=w_cycles,
+    )
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def summarize(metrics: List[ComparisonMetrics]) -> dict:
+    """Aggregate row ("MEAN" bar of the paper's figures)."""
+    return {
+        "speedup": geomean(m.speedup for m in metrics),
+        "interconnect_savings": mean(m.interconnect_savings for m in metrics),
+        "processor_savings": mean(m.processor_savings for m in metrics),
+        "ipc_improvement_pct": mean(m.ipc_improvement_pct for m in metrics),
+    }

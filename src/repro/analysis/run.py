@@ -1,0 +1,123 @@
+"""Running one benchmark on one protocol/machine, with result caching.
+
+Figures 8, 9, 10, and 11 all derive from the same dual-socket simulations;
+the in-process cache makes the per-figure harnesses share one set of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bench import BENCHMARKS
+from repro.common.config import MachineConfig
+from repro.common.errors import ReproError
+from repro.common.stats import RunStats
+from repro.energy.model import EnergyModel
+from repro.hlpl.policy import MarkingPolicy
+from repro.hlpl.runtime import Runtime
+from repro.sim.machine import Machine
+from repro.verify.ward_checker import WardChecker
+
+
+class ResultMismatchError(ReproError):
+    """A benchmark produced a result different from its reference."""
+
+
+@dataclass
+class BenchResult:
+    benchmark: str
+    protocol: str
+    machine: str
+    size: str
+    stats: RunStats
+    result: Any
+    ward_checked: bool = False
+
+
+_CACHE: Dict[Tuple, BenchResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_benchmark(
+    name: str,
+    protocol: str,
+    config: MachineConfig,
+    size: str = "default",
+    seed: int = 42,
+    policy: MarkingPolicy = MarkingPolicy.FULL,
+    check_ward: bool = False,
+    check_result: bool = True,
+    use_cache: bool = True,
+) -> BenchResult:
+    """Simulate one benchmark run; verify its result against the reference."""
+    key = (name, protocol, config.name, config.num_sockets,
+           config.cores_per_socket, config.disaggregated, size, seed,
+           policy.value, check_ward)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    bench = BENCHMARKS[name]
+    workload = bench.workload(size=size, seed=seed)
+    machine = Machine(config, protocol)
+    monitor: Optional[WardChecker] = None
+    if check_ward and machine.supports_ward:
+        monitor = WardChecker(region_table=machine.protocol.region_table)
+    rt = Runtime(machine, policy=policy, access_monitor=monitor, seed=seed)
+    result, stats = rt.run(bench.root_task, workload)
+    stats.benchmark = name
+    EnergyModel(config).compute(stats)
+
+    if check_result:
+        expected = bench.reference(workload)
+        if result != expected:
+            raise ResultMismatchError(
+                f"{name} on {protocol}: result does not match the reference "
+                f"(got {str(result)[:80]}..., want {str(expected)[:80]}...)"
+            )
+    out = BenchResult(
+        benchmark=name,
+        protocol=machine.protocol.name,
+        machine=config.name,
+        size=size,
+        stats=stats,
+        result=result,
+        ward_checked=monitor is not None,
+    )
+    if use_cache:
+        _CACHE[key] = out
+    return out
+
+
+def run_pair(
+    name: str,
+    config: MachineConfig,
+    size: str = "default",
+    seed: int = 42,
+    policy: MarkingPolicy = MarkingPolicy.FULL,
+) -> Tuple[BenchResult, BenchResult]:
+    """Run a benchmark under MESI and WARDen on the same machine/input."""
+    mesi = run_benchmark(name, "mesi", config, size=size, seed=seed, policy=policy)
+    warden = run_benchmark(name, "warden", config, size=size, seed=seed, policy=policy)
+    return mesi, warden
+
+
+#: seeds used by the figure harnesses (averaged to cancel steal-timing noise)
+FIGURE_SEEDS = (42, 43, 44)
+
+
+def run_pairs(
+    name: str,
+    config: MachineConfig,
+    size: str = "default",
+    seeds=FIGURE_SEEDS,
+    policy: MarkingPolicy = MarkingPolicy.FULL,
+):
+    """Run MESI/WARDen pairs across several seeds (for figure harnesses)."""
+    return [
+        run_pair(name, config, size=size, seed=seed, policy=policy)
+        for seed in seeds
+    ]

@@ -1,0 +1,71 @@
+"""The benchmark suite (PBBS stand-in, paper §7.1).
+
+``BENCHMARKS`` maps benchmark name to its :class:`~repro.bench.common.Benchmark`
+record.  The names match the paper's Figs. 7–12 exactly.
+"""
+
+from typing import Dict
+
+from repro.bench import (
+    dedup,
+    dmm,
+    fib,
+    grep,
+    make_array,
+    msort,
+    nn,
+    nqueens,
+    palindrome,
+    primes,
+    quickhull,
+    ray,
+    suffix_array,
+    tokens,
+)
+from repro.bench.common import Benchmark
+
+_MODULES = (
+    dedup,
+    dmm,
+    fib,
+    grep,
+    make_array,
+    msort,
+    nn,
+    nqueens,
+    palindrome,
+    primes,
+    quickhull,
+    ray,
+    suffix_array,
+    tokens,
+)
+
+BENCHMARKS: Dict[str, Benchmark] = {
+    module.BENCHMARK.name: module.BENCHMARK for module in _MODULES
+}
+
+#: the paper's benchmark order in Figs. 7-11
+PAPER_ORDER = [
+    "dedup",
+    "dmm",
+    "fib",
+    "grep",
+    "make_array",
+    "msort",
+    "nn",
+    "nqueens",
+    "palindrome",
+    "primes",
+    "quickhull",
+    "ray",
+    "suffix-array",
+    "tokens",
+]
+
+#: the subset evaluated on the disaggregated machine (Fig. 12)
+DISAGGREGATED_SUBSET = ["dmm", "grep", "nn", "palindrome"]
+
+assert sorted(BENCHMARKS) == sorted(PAPER_ORDER)
+
+__all__ = ["BENCHMARKS", "Benchmark", "DISAGGREGATED_SUBSET", "PAPER_ORDER"]

@@ -1,0 +1,54 @@
+"""``dedup`` — remove duplicate records (sort-based deduplication).
+
+Sort, mark first occurrences, pack: reuses the msort kernel plus the
+flag/pack combinators.  The paper finds dedup among the least accelerated
+benchmarks (Fig. 8) — most of its time is the sort's compute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.bench.common import Benchmark, input_array
+from repro.bench.msort import sort_task
+from repro.sim.ops import ComputeOp
+
+
+def build(rng: random.Random, scale: int) -> List[int]:
+    # ~4x duplication factor
+    universe = max(scale // 4, 4)
+    return [rng.randrange(universe) for _ in range(scale)]
+
+
+def root_task(ctx, values: List[int]):
+    src = yield from input_array(ctx, values, name="input")
+    sorted_arr = yield from sort_task(ctx, src, 0, len(src))
+
+    def first_occurrence(c, i):
+        value = yield from sorted_arr.get(i)
+        if i == 0:
+            return value
+        prev = yield from sorted_arr.get(i - 1)
+        yield ComputeOp(1)
+        return value if value != prev else -1
+
+    marked = yield from ctx.tabulate(
+        len(sorted_arr), first_occurrence, grain=32, name="marked"
+    )
+    unique = yield from ctx.filter_array(marked, lambda v: v >= 0, grain=32)
+    return unique.to_list()
+
+
+def reference(values: List[int]) -> List[int]:
+    return sorted(set(values))
+
+
+BENCHMARK = Benchmark(
+    name="dedup",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 80, "small": 400, "default": 1200},
+    description="sort-based duplicate removal",
+)

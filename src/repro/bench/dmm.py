@@ -1,0 +1,67 @@
+"""``dmm`` — dense matrix-matrix multiplication.
+
+``C = A x B`` with one task per output tile row segment; A rows are private
+to a task, B columns are read-shared by every task.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.bench.common import Benchmark, input_array
+from repro.sim.ops import ComputeOp
+
+
+def build(rng: random.Random, scale: int) -> Dict:
+    n = scale
+    a = [rng.randrange(8) for _ in range(n * n)]
+    b = [rng.randrange(8) for _ in range(n * n)]
+    return {"n": n, "a": a, "b": b}
+
+
+def root_task(ctx, workload):
+    n = workload["n"]
+    a = yield from input_array(ctx, workload["a"], name="A")
+    b = yield from input_array(ctx, workload["b"], name="B")
+
+    def cell(c, idx):
+        i, j = divmod(idx, n)
+        acc = 0
+        for k in range(n):
+            x = yield from a.get(i * n + k)
+            y = yield from b.get(k * n + j)
+            yield ComputeOp(2)
+            acc += x * y
+        return acc
+
+    out = yield from ctx.tabulate(n * n, cell, grain=max(n // 2, 4), name="C")
+    # Consume the product: Frobenius-style checksum (reads C across tasks).
+    checksum = yield from ctx.reduce(
+        0, n * n, lambda c, i: out.get(i), lambda a, b: a + b, grain=max(n, 8)
+    )
+    return out.to_list(), checksum
+
+
+def reference(workload):
+    n, a, b = workload["n"], workload["a"], workload["b"]
+    out = [0] * (n * n)
+    for i in range(n):
+        for k in range(n):
+            aik = a[i * n + k]
+            if not aik:
+                continue
+            row = k * n
+            for j in range(n):
+                out[i * n + j] += aik * b[row + j]
+    return out, sum(out)
+
+
+BENCHMARK = Benchmark(
+    name="dmm",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 6, "small": 12, "default": 18},
+    description="dense matrix multiply (read-shared B, tiled output)",
+)

@@ -1,0 +1,118 @@
+"""The true-sharing ping-pong microbenchmark of Fig. 6 / Table 1.
+
+Two hardware threads alternately write a shared word, each spinning until
+the other's value appears.  Run in the engine's pinned mode (no scheduler),
+it measures raw coherence latency under three placements: same core,
+different core same socket, different sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.config import MachineConfig, dual_socket, validation_machine
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.ops import LoadOp, StoreOp
+
+#: the paper's Table 1 numbers (cycles per iteration)
+PAPER_TABLE1 = {
+    "same-core": {"real_hw": 8.738, "sniper": 11.21},
+    "same-socket": {"real_hw": 479.68, "sniper": 286.01},
+    "cross-socket": {"real_hw": 1163.23, "sniper": 1213.59},
+}
+
+SCENARIOS = ("same-core", "same-socket", "cross-socket")
+
+
+class TimedCell:
+    """A shared word whose cross-thread visibility honours store timing.
+
+    Python-side state updates are instantaneous, but a TSO store only
+    becomes architecturally visible once it drains from the store buffer
+    and its coherence transaction completes.  The cell keeps (previous,
+    current, visible_at) so a spinning reader observes the old value until
+    the writer's store has actually landed in simulated time.
+    """
+
+    __slots__ = ("prev", "cur", "visible_at")
+
+    def __init__(self, initial: int) -> None:
+        self.prev = initial
+        self.cur = initial
+        self.visible_at = 0
+
+    def write(self, value: int, visible_at: int) -> None:
+        self.prev = self.cur
+        self.cur = value
+        self.visible_at = visible_at
+
+    def read(self, now: int) -> int:
+        return self.cur if now >= self.visible_at else self.prev
+
+
+def pingpong_kernel(machine, buf_addr: int, cell: TimedCell, thread: int,
+                    my_id: int, partner_id: int, iterations: int):
+    """Fig. 6: ``while (buf != partnerID); buf = myID;`` repeated."""
+    core = machine.cores[thread]
+    for _ in range(iterations):
+        while True:
+            yield LoadOp(buf_addr, 8, spin=True)
+            if cell.read(core.clock) == partner_id:
+                break
+        latency = yield StoreOp(buf_addr, 8)
+        cell.write(my_id, core.clock + latency)
+
+
+@dataclass
+class PingPongResult:
+    scenario: str
+    cycles_per_iteration: float
+    total_cycles: int
+    iterations: int
+
+
+def _threads_for(scenario: str, config: MachineConfig):
+    if scenario == "same-core":
+        return 0, 1
+    if scenario == "same-socket":
+        return 0, 1
+    if scenario == "cross-socket":
+        return 0, config.cores_per_socket  # first core of the second socket
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def config_for(scenario: str) -> MachineConfig:
+    if scenario == "same-core":
+        return validation_machine(same_core=True)
+    return dual_socket()
+
+
+def run_pingpong(
+    scenario: str,
+    iterations: int = 300,
+    protocol: str = "mesi",
+) -> PingPongResult:
+    """Run one Table-1 scenario; returns measured cycles per iteration."""
+    config = config_for(scenario)
+    machine = Machine(config, protocol)
+    engine = Engine(machine)
+    buf_addr = machine.sbrk(64, 64)
+    machine.place(buf_addr, 64, 0)  # the shared word lives on socket 0
+    cell = TimedCell(1)  # thread 0 observes its partner's id first and starts
+    t0, t1 = _threads_for(scenario, config)
+    engine.pin(t0, pingpong_kernel(machine, buf_addr, cell, t0, 0, 1, iterations))
+    engine.pin(t1, pingpong_kernel(machine, buf_addr, cell, t1, 1, 0, iterations))
+    engine.run()
+    total = max(machine.cores[t0].clock, machine.cores[t1].clock)
+    return PingPongResult(
+        scenario=scenario,
+        cycles_per_iteration=total / iterations,
+        total_cycles=total,
+        iterations=iterations,
+    )
+
+
+def run_table1(iterations: int = 300) -> Dict[str, PingPongResult]:
+    return {s: run_pingpong(s, iterations) for s in SCENARIOS}

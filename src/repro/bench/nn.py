@@ -1,0 +1,72 @@
+"""``nn`` — all-nearest-neighbour queries over a point set.
+
+Every query task scans the (read-shared) reference points and writes its
+nearest index into the output: computational geometry with broadcast reads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.bench.common import Benchmark, input_array
+from repro.sim.ops import ComputeOp
+
+
+def build(rng: random.Random, scale: int) -> Dict:
+    nrefs = scale
+    nqueries = max(scale // 3, 4)
+    refs = [(rng.randrange(1024), rng.randrange(1024)) for _ in range(nrefs)]
+    queries = [(rng.randrange(1024), rng.randrange(1024)) for _ in range(nqueries)]
+    return {"refs": refs, "queries": queries}
+
+
+def root_task(ctx, workload):
+    refs = workload["refs"]
+    queries = workload["queries"]
+    rx = yield from input_array(ctx, [p[0] for p in refs], name="rx")
+    ry = yield from input_array(ctx, [p[1] for p in refs], name="ry")
+    qx = yield from input_array(ctx, [p[0] for p in queries], name="qx")
+    qy = yield from input_array(ctx, [p[1] for p in queries], name="qy")
+
+    def nearest(c, q):
+        x = yield from qx.get(q)
+        y = yield from qy.get(q)
+        best, best_d = -1, None
+        for r in range(len(refs)):
+            px = yield from rx.get(r)
+            py = yield from ry.get(r)
+            yield ComputeOp(4)
+            d = (px - x) * (px - x) + (py - y) * (py - y)
+            if best_d is None or d < best_d:
+                best, best_d = r, d
+        return best
+
+    out = yield from ctx.tabulate(len(queries), nearest, grain=2, name="nearest")
+    checksum = yield from ctx.reduce(
+        0, len(queries), lambda c, i: out.get(i), lambda a, b: a + b, grain=8
+    )
+    return out.to_list(), checksum
+
+
+def reference(workload):
+    refs, queries = workload["refs"], workload["queries"]
+    out = []
+    for (x, y) in queries:
+        best, best_d = -1, None
+        for r, (px, py) in enumerate(refs):
+            d = (px - x) ** 2 + (py - y) ** 2
+            if best_d is None or d < best_d:
+                best, best_d = r, d
+        out.append(best)
+    return out, sum(out)
+
+
+BENCHMARK = Benchmark(
+    name="nn",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 24, "small": 80, "default": 160},
+    description="nearest-neighbour queries with broadcast reference reads",
+)

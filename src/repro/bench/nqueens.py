@@ -1,0 +1,81 @@
+"""``nqueens`` — count all N-queens placements by parallel backtracking.
+
+Fork-heavy search with small board state handed to children at every fork
+(the closure handoff path); minimal heap data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bench.common import Benchmark
+from repro.sim.ops import ComputeOp
+
+PAR_DEPTH = 3
+
+
+def _safe(cols: Tuple[int, ...], col: int) -> bool:
+    row = len(cols)
+    for r, c in enumerate(cols):
+        if c == col or abs(c - col) == row - r:
+            return False
+    return True
+
+
+def _count_seq(n: int, cols: Tuple[int, ...]) -> Tuple[int, int]:
+    """Returns (solutions, nodes visited) below this partial placement."""
+    if len(cols) == n:
+        return 1, 1
+    total, nodes = 0, 1
+    for col in range(n):
+        if _safe(cols, col):
+            sols, sub = _count_seq(n, cols + (col,))
+            total += sols
+            nodes += sub
+    return total, nodes
+
+
+def queens_task(ctx, n: int, cols: Tuple[int, ...]):
+    if len(cols) == n:
+        yield ComputeOp(1)
+        return 1
+    if len(cols) >= PAR_DEPTH:
+        yield ComputeOp(2 * len(cols))
+        sols, nodes = _count_seq(n, cols)
+        yield ComputeOp(3 * nodes)
+        return sols
+    candidates = [col for col in range(n) if _safe(cols, col)]
+    yield ComputeOp(2 * n)
+    if not candidates:
+        return 0
+    results = yield from ctx.par(
+        *[
+            (lambda col: lambda c: queens_task(c, n, cols + (col,)))(col)
+            for col in candidates
+        ]
+    )
+    yield ComputeOp(len(results))
+    return sum(results)
+
+
+def build(rng, scale: int) -> int:
+    return scale
+
+
+def root_task(ctx, n: int):
+    count = yield from queens_task(ctx, n, ())
+    return count
+
+
+def reference(n: int) -> int:
+    return _count_seq(n, ())[0]
+
+
+BENCHMARK = Benchmark(
+    name="nqueens",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 5, "small": 6, "default": 7},
+    description="N-queens counting via parallel backtracking",
+)

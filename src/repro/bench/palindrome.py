@@ -1,0 +1,76 @@
+"""``palindrome`` — longest palindromic substring by parallel center
+expansion.
+
+Every task reads the shared text around its center (heavily read-shared,
+overlapping windows) and writes one radius: the read-dominant sharing mix
+that makes this benchmark one of the paper's best performers (Figs. 8, 12).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.bench.common import Benchmark, input_array
+from repro.sim.ops import ComputeOp
+
+
+def build(rng: random.Random, scale: int) -> Dict:
+    # biased alphabet so palindromes actually occur
+    text = "".join(rng.choice("aab") for _ in range(scale))
+    return {"text": text}
+
+
+def root_task(ctx, workload):
+    text = workload["text"]
+    n = len(text)
+    chars = yield from input_array(ctx, [ord(ch) for ch in text], name="text")
+
+    def radius_at(c, k):
+        # odd centers at k//2 when k even, even centers between chars
+        center2 = k  # center position in half-index units
+        lo = (center2 - 1) // 2
+        hi = (center2 + 2) // 2
+        radius = 0
+        while lo >= 0 and hi < n:
+            a = yield from chars.get(lo)
+            b = yield from chars.get(hi)
+            yield ComputeOp(1)
+            if a != b:
+                break
+            radius = hi - lo + 1
+            lo -= 1
+            hi += 1
+        return radius
+
+    radii = yield from ctx.tabulate(2 * n - 1, radius_at, grain=16, name="radii")
+    best = yield from ctx.reduce(
+        0, 2 * n - 1, lambda c, i: radii.get(i), max, grain=64
+    )
+    return best
+
+
+def reference(workload) -> int:
+    text = workload["text"]
+    n = len(text)
+    best = 0
+    for k in range(2 * n - 1):
+        lo = (k - 1) // 2
+        hi = (k + 2) // 2
+        length = 0
+        while lo >= 0 and hi < n and text[lo] == text[hi]:
+            length = hi - lo + 1
+            lo -= 1
+            hi += 1
+        best = max(best, length)
+    return best
+
+
+BENCHMARK = Benchmark(
+    name="palindrome",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 64, "small": 350, "default": 1100},
+    description="longest palindromic substring via parallel center expansion",
+)

@@ -1,0 +1,114 @@
+"""``quickhull`` — 2D convex hull by recursive partitioning.
+
+Reduce (farthest point) + filter (partitions into fresh local arrays) +
+par recursion: the allocation-and-pack-heavy computational-geometry shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.bench.common import Benchmark, input_array
+from repro.sim.ops import ComputeOp
+
+Point = Tuple[int, int]
+
+
+def _cross(o: Point, a: Point, b: Point) -> int:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def _hull_side(ctx, pts, a: Point, b: Point):
+    """Hull points strictly left of a->b, between a and b (exclusive of a,
+    inclusive of nothing)."""
+    if len(pts) == 0:
+        return []
+
+    def dist_leaf(c, i):
+        p = yield from pts.get(i)
+        yield ComputeOp(4)
+        return (_cross(a, b, p), p)
+
+    best = yield from ctx.reduce(0, len(pts), dist_leaf, max, grain=16)
+    far = best[1]
+
+    left = yield from ctx.filter_array(
+        pts, lambda p: _cross(a, far, p) > 0, grain=16, name="left"
+    )
+    right = yield from ctx.filter_array(
+        pts, lambda p: _cross(far, b, p) > 0, grain=16, name="right"
+    )
+    hull_left, hull_right = yield from ctx.par(
+        lambda c: _hull_side(c, left, a, far),
+        lambda c: _hull_side(c, right, far, b),
+    )
+    return hull_left + [far] + hull_right
+
+
+def quickhull_task(ctx, pts):
+    n = len(pts)
+
+    def minmax_leaf(c, i):
+        p = yield from pts.get(i)
+        yield ComputeOp(2)
+        return (p, p)
+
+    lo, hi = yield from ctx.reduce(
+        0,
+        n,
+        minmax_leaf,
+        lambda u, v: (min(u[0], v[0]), max(u[1], v[1])),
+        grain=16,
+    )
+    upper = yield from ctx.filter_array(
+        pts, lambda p: _cross(lo, hi, p) > 0, grain=16, name="upper"
+    )
+    lower = yield from ctx.filter_array(
+        pts, lambda p: _cross(hi, lo, p) > 0, grain=16, name="lower"
+    )
+    hull_up, hull_down = yield from ctx.par(
+        lambda c: _hull_side(c, upper, lo, hi),
+        lambda c: _hull_side(c, lower, hi, lo),
+    )
+    return [lo] + hull_up + [hi] + hull_down
+
+
+def build(rng: random.Random, scale: int) -> List[Point]:
+    return list(
+        {(rng.randrange(-500, 500), rng.randrange(-500, 500)) for _ in range(scale)}
+    )
+
+
+def root_task(ctx, points: List[Point]):
+    pts = yield from input_array(ctx, points, name="points")
+    hull = yield from quickhull_task(ctx, pts)
+    return sorted(hull)
+
+
+def reference(points: List[Point]) -> List[Point]:
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+
+    def half(iterable):
+        out: List[Point] = []
+        for p in iterable:
+            while len(out) >= 2 and _cross(out[-2], out[-1], p) <= 0:
+                out.pop()
+            out.append(p)
+        return out
+
+    lower = half(pts)
+    upper = half(reversed(pts))
+    return sorted(lower[:-1] + upper[:-1])
+
+
+BENCHMARK = Benchmark(
+    name="quickhull",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 48, "small": 160, "default": 420},
+    description="2D convex hull via recursive partitioning",
+)

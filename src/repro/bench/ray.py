@@ -1,0 +1,117 @@
+"""``ray`` — ray casting against a triangle soup.
+
+Each ray task reads the shared triangle arrays and records the nearest hit
+parameter: graphics-style broadcast reads plus per-ray private output.  The
+paper highlights ray's busy-wait/IPC interplay (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.bench.common import Benchmark, input_array
+from repro.sim.ops import ComputeOp
+
+SCALE_1 = 1000  # fixed-point scale for the host-side geometry
+
+
+def _intersect(ray_o, ray_d, tri) -> Optional[int]:
+    """Möller–Trumbore in integer fixed point; returns t*SCALE_1 or None."""
+    (ax, ay, az), (bx, by, bz), (cx, cy, cz) = tri
+    e1 = (bx - ax, by - ay, bz - az)
+    e2 = (cx - ax, cy - ay, cz - az)
+    # p = d x e2
+    px = ray_d[1] * e2[2] - ray_d[2] * e2[1]
+    py = ray_d[2] * e2[0] - ray_d[0] * e2[2]
+    pz = ray_d[0] * e2[1] - ray_d[1] * e2[0]
+    det = e1[0] * px + e1[1] * py + e1[2] * pz
+    if det == 0:
+        return None
+    tx = ray_o[0] - ax
+    ty = ray_o[1] - ay
+    tz = ray_o[2] - az
+    u_num = tx * px + ty * py + tz * pz
+    if det > 0 and (u_num < 0 or u_num > det):
+        return None
+    if det < 0 and (u_num > 0 or u_num < det):
+        return None
+    qx = ty * e1[2] - tz * e1[1]
+    qy = tz * e1[0] - tx * e1[2]
+    qz = tx * e1[1] - ty * e1[0]
+    v_num = ray_d[0] * qx + ray_d[1] * qy + ray_d[2] * qz
+    if det > 0 and (v_num < 0 or u_num + v_num > det):
+        return None
+    if det < 0 and (v_num > 0 or u_num + v_num < det):
+        return None
+    t_num = e2[0] * qx + e2[1] * qy + e2[2] * qz
+    t = t_num * SCALE_1 // det
+    return t if t > 0 else None
+
+
+def build(rng: random.Random, scale: int) -> Dict:
+    ntris = scale
+    nrays = scale * 2
+    tris = []
+    for _ in range(ntris):
+        ax, ay = rng.randrange(-40, 40), rng.randrange(-40, 40)
+        az = rng.randrange(10, 60)
+        tris.append(
+            (
+                (ax, ay, az),
+                (ax + rng.randrange(1, 14), ay, az + rng.randrange(-3, 4)),
+                (ax, ay + rng.randrange(1, 14), az + rng.randrange(-3, 4)),
+            )
+        )
+    rays = [
+        ((rng.randrange(-30, 30), rng.randrange(-30, 30), 0), (0, 0, 1))
+        for _ in range(nrays)
+    ]
+    return {"tris": tris, "rays": rays}
+
+
+def root_task(ctx, workload):
+    tris = workload["tris"]
+    rays = workload["rays"]
+    tri_arr = yield from input_array(ctx, tris, name="tris")
+    ray_arr = yield from input_array(ctx, rays, name="rays")
+
+    def cast(c, r):
+        origin_dir = yield from ray_arr.get(r)
+        nearest = -1
+        nearest_t = None
+        for ti in range(len(tris)):
+            tri = yield from tri_arr.get(ti)
+            yield ComputeOp(24)
+            t = _intersect(origin_dir[0], origin_dir[1], tri)
+            if t is not None and (nearest_t is None or t < nearest_t):
+                nearest, nearest_t = ti, t
+        return nearest
+
+    hits = yield from ctx.tabulate(len(rays), cast, grain=2, name="hits")
+    checksum = yield from ctx.reduce(
+        0, len(rays), lambda c, i: hits.get(i), lambda a, b: a + b, grain=8
+    )
+    return hits.to_list(), checksum
+
+
+def reference(workload):
+    out = []
+    for origin, direction in workload["rays"]:
+        nearest, nearest_t = -1, None
+        for ti, tri in enumerate(workload["tris"]):
+            t = _intersect(origin, direction, tri)
+            if t is not None and (nearest_t is None or t < nearest_t):
+                nearest, nearest_t = ti, t
+        out.append(nearest)
+    return out, sum(out)
+
+
+BENCHMARK = Benchmark(
+    name="ray",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 8, "small": 24, "default": 48},
+    description="ray casting against a shared triangle soup",
+)

@@ -1,0 +1,72 @@
+"""``tokens`` — whitespace tokenisation of a text.
+
+Boundary flags via tabulate, token count via reduce, token start offsets via
+pack: the PBBS ``tokens`` shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.bench.common import Benchmark, input_array
+from repro.sim.ops import ComputeOp
+
+WORDS = ["lorem", "ipsum", "dolor", "sit", "amet", "a", "be", "sea"]
+
+
+def build(rng: random.Random, scale: int) -> Dict:
+    text = " ".join(rng.choice(WORDS) for _ in range(scale))
+    # sprinkle double spaces to exercise empty-token handling
+    text = text.replace(" a ", "  a  ")
+    return {"text": text}
+
+
+def root_task(ctx, workload):
+    text = workload["text"]
+    n = len(text)
+    chars = yield from input_array(ctx, [ord(ch) for ch in text], name="text")
+
+    def is_start(c, i):
+        ch = yield from chars.get(i)
+        yield ComputeOp(1)
+        if ch == 32:
+            return 0
+        if i == 0:
+            return 1
+        prev = yield from chars.get(i - 1)
+        yield ComputeOp(1)
+        return 1 if prev == 32 else 0
+
+    starts = yield from ctx.tabulate(n, is_start, grain=32, name="starts")
+    count = yield from ctx.reduce(
+        0, n, lambda c, i: starts.get(i), lambda a, b: a + b, grain=64
+    )
+
+    def keep(c, i):
+        flag = yield from starts.get(i)
+        return i if flag else -1
+
+    marked = yield from ctx.tabulate(n, keep, grain=32, name="marked")
+    offsets = yield from ctx.filter_array(marked, lambda v: v >= 0, grain=32)
+    return count, offsets.to_list()[:8]
+
+
+def reference(workload):
+    text = workload["text"]
+    offsets = [
+        i
+        for i, ch in enumerate(text)
+        if ch != " " and (i == 0 or text[i - 1] == " ")
+    ]
+    return len(offsets), offsets[:8]
+
+
+BENCHMARK = Benchmark(
+    name="tokens",
+    build=build,
+    root_task=root_task,
+    reference=reference,
+    scales={"test": 40, "small": 250, "default": 800},
+    description="whitespace tokenisation (flags + reduce + pack)",
+)

@@ -1,0 +1,148 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    warden-repro specs                      # Table 2
+    warden-repro table1                     # Sniper-validation ping-pong
+    warden-repro figure fig7 [--size small] # single-socket speedup/energy
+    warden-repro figure fig8                # dual socket
+    warden-repro figure fig9|fig10|fig11    # dual-socket analysis figures
+    warden-repro figure fig12               # disaggregated
+    warden-repro run primes --protocol warden
+    warden-repro area                       # §6.1 CACTI estimates
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import compare_multi
+from repro.analysis.run import run_benchmark, run_pairs
+from repro.analysis.tables import (
+    figure9,
+    figure10,
+    figure11,
+    speedup_energy_figure,
+    table1,
+    table2,
+)
+from repro.bench import BENCHMARKS, DISAGGREGATED_SUBSET, PAPER_ORDER
+from repro.bench.microbench import run_table1
+from repro.common.config import disaggregated, dual_socket, single_socket
+from repro.energy.cacti import region_cam_area_overhead, sectoring_area_overhead
+
+FIGURES = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+
+
+def _metrics_for(config, names: List[str], size: str):
+    return [
+        compare_multi(run_pairs(name, config, size=size)) for name in names
+    ]
+
+
+def cmd_specs(_args) -> int:
+    print(table2(dual_socket()))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    print(table1(run_table1(iterations=args.iterations)))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    size = args.size
+    if args.figure == "fig7":
+        metrics = _metrics_for(single_socket(), PAPER_ORDER, size)
+        print(speedup_energy_figure(
+            metrics, "Figure 7: performance and energy gains on single socket"
+        ))
+    elif args.figure == "fig8":
+        metrics = _metrics_for(dual_socket(), PAPER_ORDER, size)
+        print(speedup_energy_figure(
+            metrics, "Figure 8: performance and energy gains on dual socket"
+        ))
+    elif args.figure in ("fig9", "fig10", "fig11"):
+        metrics = _metrics_for(dual_socket(), PAPER_ORDER, size)
+        renderer = {"fig9": figure9, "fig10": figure10, "fig11": figure11}
+        print(renderer[args.figure](metrics))
+    elif args.figure == "fig12":
+        metrics = _metrics_for(disaggregated(), DISAGGREGATED_SUBSET, size)
+        print(speedup_energy_figure(
+            metrics, "Figure 12: performance and energy gains on disaggregated"
+        ))
+    else:
+        print(f"unknown figure {args.figure}; choose from {FIGURES}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = run_benchmark(
+        args.benchmark,
+        args.protocol,
+        dual_socket(),
+        size=args.size,
+        check_ward=args.protocol == "warden",
+    )
+    s = result.stats
+    print(f"benchmark : {result.benchmark} ({args.size})")
+    print(f"protocol  : {result.protocol}")
+    print(f"cycles    : {s.cycles}")
+    print(f"instrs    : {s.instructions}  (IPC {s.ipc:.4f})")
+    print(f"inv/dg    : {s.coherence.invalidations}/{s.coherence.downgrades}")
+    print(f"ward cov. : {s.coherence.ward_coverage:.2%}")
+    print(f"energy    : {s.energy.processor_nj / 1e3:.1f} uJ "
+          f"(network {s.energy.interconnect_nj / 1e3:.1f} uJ)")
+    return 0
+
+
+def cmd_area(_args) -> int:
+    cfg = dual_socket()
+    print(f"byte-sectoring area overhead : {sectoring_area_overhead():.1%} "
+          "(paper: 7.9%)")
+    print(f"1024-region CAM area overhead: {region_cam_area_overhead(cfg):.4%} "
+          "(paper: <0.05%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="warden-repro",
+        description="Reproduce the tables and figures of the WARDen paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("specs", help="print Table 2").set_defaults(func=cmd_specs)
+
+    p1 = sub.add_parser("table1", help="run the ping-pong validation")
+    p1.add_argument("--iterations", type=int, default=300)
+    p1.set_defaults(func=cmd_table1)
+
+    pf = sub.add_parser("figure", help="regenerate one figure")
+    pf.add_argument("figure", choices=FIGURES)
+    pf.add_argument("--size", default="default",
+                    choices=("test", "small", "default"))
+    pf.set_defaults(func=cmd_figure)
+
+    pr = sub.add_parser("run", help="run one benchmark")
+    pr.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    pr.add_argument("--protocol", default="warden", choices=("mesi", "warden"))
+    pr.add_argument("--size", default="default",
+                    choices=("test", "small", "default"))
+    pr.set_defaults(func=cmd_run)
+
+    sub.add_parser("area", help="§6.1 area estimates").set_defaults(func=cmd_area)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

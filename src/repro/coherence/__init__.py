@@ -1,0 +1,15 @@
+"""Cache-coherence protocols: the MESI baseline and the WARDen extension."""
+
+from repro.coherence.directory import Directory, DirEntry
+from repro.coherence.mesi import MESIProtocol
+from repro.coherence.regions import RegionTable, WardRegion
+from repro.coherence.warden import WARDenProtocol
+
+__all__ = [
+    "DirEntry",
+    "Directory",
+    "MESIProtocol",
+    "RegionTable",
+    "WARDenProtocol",
+    "WardRegion",
+]

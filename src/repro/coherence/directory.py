@@ -1,0 +1,75 @@
+"""Full-map directory state, one logical directory per socket (home-sliced).
+
+Directory entries follow the paper's Fig. 5 FSA states.  The map is
+unbounded (a full-map directory with no entry evictions) — a standard
+simulator simplification that errs *against* WARDen, since a finite
+directory would add extra invalidations to the MESI baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.common.errors import ProtocolError
+from repro.common.types import CoherenceState
+
+
+class DirEntry:
+    """Directory view of one block: state, owner, sharer set."""
+
+    __slots__ = ("addr", "state", "owner", "sharers")
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+        self.state = CoherenceState.INVALID
+        self.owner: Optional[int] = None
+        self.sharers: Set[int] = set()
+
+    def check_invariants(self) -> None:
+        """SWMR-style directory sanity (used heavily by tests)."""
+        if self.state in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):
+            if self.owner is None:
+                raise ProtocolError(f"{self} owned state without owner")
+            if self.sharers and self.sharers != {self.owner}:
+                raise ProtocolError(f"{self} owner coexists with sharers")
+        elif self.state is CoherenceState.SHARED:
+            if not self.sharers:
+                raise ProtocolError(f"{self} shared without sharers")
+            if self.owner is not None:
+                raise ProtocolError(f"{self} shared with an owner")
+        elif self.state is CoherenceState.INVALID:
+            if self.owner is not None or self.sharers:
+                raise ProtocolError(f"{self} invalid but tracked copies exist")
+        # WARD: any sharer set is legal, no owner.
+        elif self.state is CoherenceState.WARD and self.owner is not None:
+            raise ProtocolError(f"{self} WARD entries have no owner")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirEntry({self.addr:#x}, {self.state.value}, owner={self.owner}, "
+            f"sharers={sorted(self.sharers)})"
+        )
+
+
+class Directory:
+    """Home directory for the blocks of one socket."""
+
+    def __init__(self, socket: int) -> None:
+        self.socket = socket
+        self._entries: Dict[int, DirEntry] = {}
+
+    def entry(self, block_addr: int) -> DirEntry:
+        e = self._entries.get(block_addr)
+        if e is None:
+            e = DirEntry(block_addr)
+            self._entries[block_addr] = e
+        return e
+
+    def peek(self, block_addr: int) -> Optional[DirEntry]:
+        return self._entries.get(block_addr)
+
+    def entries(self):
+        return self._entries.values()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,424 @@
+"""Directory-based MESI protocol (the paper's baseline, §5 / Fig. 5).
+
+Structure of the modeled hierarchy (matching Table 2):
+
+* per-core private L1 + L2 (inclusive; coherence state is held once per
+  ``(core, block)`` on a :class:`CacheBlock` shared by both tag arrays),
+* one shared LLC slice + full-map directory per socket, home-interleaved
+  by block address,
+* DRAM behind each LLC slice.
+
+The public entry point is :meth:`MESIProtocol.access`, which performs the
+full coherence transaction for one load/store/RMW and returns its latency in
+cycles.  Stores are issued eagerly (TSO store buffer timing is applied by the
+core model, not here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.common.errors import ProtocolError
+from repro.common.stats import CoherenceStats
+from repro.common.types import (
+    AccessType,
+    CoherenceState,
+    MessageType,
+    block_of,
+    sector_mask,
+)
+from repro.coherence.directory import Directory, DirEntry
+from repro.mem.block import CacheBlock
+from repro.mem.cache import SetAssocCache
+from repro.mem.interconnect import Interconnect, LinkClass
+
+I = CoherenceState.INVALID
+S = CoherenceState.SHARED
+E = CoherenceState.EXCLUSIVE
+M = CoherenceState.MODIFIED
+W = CoherenceState.WARD
+
+
+class MESIProtocol:
+    """The MESI baseline: every sharing event pays invalidations/downgrades."""
+
+    name = "MESI"
+    supports_ward = False
+
+    def __init__(self, config: MachineConfig, stats: Optional[CoherenceStats] = None):
+        self.config = config
+        self.stats = stats if stats is not None else CoherenceStats()
+        self.noc = Interconnect(config, self.stats)
+        ncores = config.num_cores
+        self.l1: List[SetAssocCache] = []
+        self.l2: List[SetAssocCache] = []
+        for core in range(ncores):
+            self.l1.append(SetAssocCache(config.l1, f"L1-{core}"))
+            self.l2.append(
+                SetAssocCache(
+                    config.l2,
+                    f"L2-{core}",
+                    on_evict=self._make_evict_hook(core),
+                )
+            )
+        llc_cfg = CacheConfig(
+            size_bytes=config.l3.size_bytes * config.cores_per_socket,
+            associativity=config.l3.associativity,
+            block_size=config.block_size,
+            latency=config.l3.latency,
+        )
+        self.llc: List[SetAssocCache] = [
+            SetAssocCache(llc_cfg, f"L3-{s}") for s in range(config.num_sockets)
+        ]
+        self.dirs: List[Directory] = [
+            Directory(s) for s in range(config.num_sockets)
+        ]
+        #: NUMA first-touch placement map: page number -> home socket
+        self._page_homes: dict = {}
+
+    # ------------------------------------------------------------------
+    # Topology / lookup helpers
+    # ------------------------------------------------------------------
+    def home(self, block_addr: int) -> int:
+        """Home socket of a block: NUMA first-touch page placement when the
+        allocator registered one, address-interleaved otherwise."""
+        home = self._page_homes.get(block_addr >> self.PAGE_SHIFT)
+        if home is not None:
+            return home
+        return self.config.home_socket(block_addr)
+
+    PAGE_SHIFT = 6  # block-granularity placement (padded runtime words
+    # would otherwise inherit a neighbour's 4 KB page home)
+
+    def set_page_home(self, addr: int, size: int, socket: int) -> None:
+        """Register first-touch NUMA placement for ``[addr, addr+size)``."""
+        first = addr >> self.PAGE_SHIFT
+        last = (addr + max(size, 1) - 1) >> self.PAGE_SHIFT
+        for page in range(first, last + 1):
+            self._page_homes.setdefault(page, socket)
+
+    def directory_for(self, block_addr: int) -> Directory:
+        return self.dirs[self.home(block_addr)]
+
+    def dir_entry(self, block_addr: int) -> DirEntry:
+        return self.directory_for(block_addr).entry(block_addr)
+
+    def private_block(self, core: int, block_addr: int) -> Optional[CacheBlock]:
+        """Non-statistical peek at a core's private copy (L2 is inclusive)."""
+        return self.l2[core].peek(block_addr)
+
+    # ------------------------------------------------------------------
+    # Private-cache eviction (PutM/PutS), keeps the directory exact
+    # ------------------------------------------------------------------
+    def _make_evict_hook(self, core: int):
+        def hook(block: CacheBlock) -> None:
+            self._evict_private(core, block)
+
+        return hook
+
+    def _evict_private(self, core: int, block: CacheBlock) -> None:
+        # L2 (inclusive) evicted the block: drop the L1 copy too.
+        self.l1[core].invalidate(block.addr)
+        entry = self.dir_entry(block.addr)
+        home = self.home(block.addr)
+        if block.state is W:
+            self._flush_ward_copy(core, block, entry)
+            return
+        if block.state in (M, E):
+            if entry.owner != core:
+                raise ProtocolError(
+                    f"evicting owned block {block.addr:#x} but directory "
+                    f"says owner={entry.owner}"
+                )
+            mtype = MessageType.PUT_M if block.state is M else MessageType.PUT_M
+            self.noc.core_to_home(core, home, mtype)
+            if block.state is M:
+                self.stats.writebacks += 1
+                self._llc_fill(block.addr)
+            entry.state = I
+            entry.owner = None
+            entry.sharers.clear()
+        elif block.state is S:
+            # Explicit PutS so sharer sets stay exact (cheap control message).
+            self.noc.core_to_home(core, home, MessageType.PUT_M)
+            entry.sharers.discard(core)
+            if not entry.sharers:
+                entry.state = I
+        block.state = I
+
+    def _flush_ward_copy(self, core: int, block: CacheBlock, entry: DirEntry) -> None:
+        """W-state copy leaves a private cache: write back written sectors.
+
+        §5.3 — evictions before the region ends pre-pay reconciliation.
+        """
+        home = self.home(block.addr)
+        if block.written_mask:
+            self.noc.core_to_home(core, home, MessageType.WB_DATA)
+            self.stats.writebacks += 1
+            self._llc_fill(block.addr)
+        else:
+            self.noc.core_to_home(core, home, MessageType.PUT_M)
+        entry.sharers.discard(core)
+        block.state = I
+        block.clear_written()
+
+    # ------------------------------------------------------------------
+    # LLC / DRAM
+    # ------------------------------------------------------------------
+    def _llc_fill(self, block_addr: int) -> None:
+        self.llc[self.home(block_addr)].install(block_addr, S)
+
+    def _fetch_data_at_home(self, block_addr: int) -> int:
+        """Latency of producing the block's data at the home LLC slice."""
+        self.stats.l3_accesses += 1
+        if self.llc[self.home(block_addr)].lookup(block_addr) is not None:
+            return 0
+        self.stats.dram_accesses += 1
+        self.noc.send(MessageType.DATA, LinkClass.MEMORY)
+        self._llc_fill(block_addr)
+        return self.config.dram_latency
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+    def access(self, core: int, addr: int, size: int, atype: AccessType) -> int:
+        """Perform one memory access; return its latency in cycles."""
+        bs = self.config.block_size
+        block_addr = block_of(addr, bs)
+        mask = sector_mask(addr, size, bs) if atype.is_write else 0
+        self.stats.total_accesses += 1
+
+        latency = self.config.l1.latency
+        block = self.l1[core].lookup(block_addr)
+        if block is None:
+            latency += self.config.l2.latency
+            block = self.l2[core].lookup(block_addr)
+            if block is not None:
+                self.l1[core].install_block(block)
+
+        if block is not None:
+            if self._permitted(block.state, atype):
+                self._complete_local(block, atype, mask)
+                return latency
+            if atype.is_write and block.state is S:
+                return latency + self._upgrade(core, block_addr, block, mask)
+            raise ProtocolError(
+                f"unexpected private state {block.state} for {atype}"
+            )
+        return latency + self._miss(core, block_addr, atype, mask)
+
+    @staticmethod
+    def _permitted(state: CoherenceState, atype: AccessType) -> bool:
+        if atype.is_write:
+            return state.grants_write
+        return state.grants_read
+
+    def _complete_local(self, block: CacheBlock, atype: AccessType, mask: int) -> None:
+        if block.state is W:
+            self.stats.ward_accesses += 1
+        if atype.is_write:
+            if block.state is E:
+                block.state = M  # silent E -> M upgrade
+            block.mark_written(mask)
+
+    # ------------------------------------------------------------------
+    # Store upgrade: private S copy, needs M
+    # ------------------------------------------------------------------
+    def _upgrade(self, core: int, block_addr: int, block: CacheBlock, mask: int) -> int:
+        home = self.home(block_addr)
+        entry = self.dir_entry(block_addr)
+        latency = self.noc.core_to_home(core, home, MessageType.UPGRADE)
+        latency += self.config.l3.latency
+        self.stats.l3_accesses += 1
+        latency += self._handle_upgrade_at_dir(core, block_addr, entry, block, mask)
+        return latency
+
+    def _handle_upgrade_at_dir(
+        self,
+        core: int,
+        block_addr: int,
+        entry: DirEntry,
+        block: CacheBlock,
+        mask: int,
+    ) -> int:
+        if entry.state is not S or core not in entry.sharers:
+            raise ProtocolError(
+                f"upgrade for {block_addr:#x} but directory shows {entry}"
+            )
+        latency = self._invalidate_sharers(block_addr, entry, exclude=core)
+        latency += self.noc.home_to_core(self.home(block_addr), core, MessageType.DATA_E)
+        entry.state = M
+        entry.owner = core
+        entry.sharers.clear()
+        block.state = M
+        block.mark_written(mask)
+        return latency
+
+    def _invalidate_sharers(
+        self, block_addr: int, entry: DirEntry, exclude: int
+    ) -> int:
+        """Invalidate every sharer except ``exclude``; return added latency."""
+        home = self.home(block_addr)
+        worst = 0
+        for sharer in sorted(entry.sharers):
+            if sharer == exclude:
+                continue
+            lat = self.noc.home_to_core(home, sharer, MessageType.INV)
+            lat += self.noc.core_to_home(sharer, home, MessageType.INV_ACK)
+            worst = max(worst, lat)
+            self.stats.invalidations += 1
+            victim = self.l2[sharer].invalidate(block_addr)
+            self.l1[sharer].invalidate(block_addr)
+            if victim is not None:
+                victim.state = I
+        return worst
+
+    # ------------------------------------------------------------------
+    # Full miss: GetS / GetM at the directory
+    # ------------------------------------------------------------------
+    def _miss(self, core: int, block_addr: int, atype: AccessType, mask: int) -> int:
+        home = self.home(block_addr)
+        entry = self.dir_entry(block_addr)
+        mtype = MessageType.GET_M if atype.is_write else MessageType.GET_S
+        latency = self.noc.core_to_home(core, home, mtype)
+        latency += self.config.l3.latency
+        latency += self._handle_at_directory(core, block_addr, entry, atype, mask)
+        return latency
+
+    def _handle_at_directory(
+        self,
+        core: int,
+        block_addr: int,
+        entry: DirEntry,
+        atype: AccessType,
+        mask: int,
+    ) -> int:
+        """Directory FSA dispatch (Fig. 5, MESI portion). Returns latency."""
+        home = self.home(block_addr)
+        if entry.state is I:
+            latency = self._fetch_data_at_home(block_addr)
+            latency += self.noc.home_to_core(home, core, MessageType.DATA_E)
+            if atype.is_write:
+                self._install_private(core, block_addr, M, mask)
+                entry.state = M
+            else:
+                self._install_private(core, block_addr, E, 0)
+                entry.state = E
+            entry.owner = core
+            entry.sharers.clear()
+            return latency
+
+        if entry.state is S:
+            if atype.is_write:
+                inv_latency = self._invalidate_sharers(block_addr, entry, exclude=core)
+                data_latency = self._fetch_data_at_home(block_addr)
+                data_latency += self.noc.home_to_core(home, core, MessageType.DATA)
+                self._install_private(core, block_addr, M, mask)
+                entry.state = M
+                entry.owner = core
+                entry.sharers.clear()
+                return max(inv_latency, data_latency)
+            latency = self._fetch_data_at_home(block_addr)
+            latency += self.noc.home_to_core(home, core, MessageType.DATA)
+            self._install_private(core, block_addr, S, 0)
+            entry.sharers.add(core)
+            return latency
+
+        if entry.state in (E, M):
+            return self._forward_to_owner(core, block_addr, entry, atype, mask)
+
+        raise ProtocolError(
+            f"MESI directory cannot handle state {entry.state} at {block_addr:#x}"
+        )
+
+    def _forward_to_owner(
+        self,
+        core: int,
+        block_addr: int,
+        entry: DirEntry,
+        atype: AccessType,
+        mask: int,
+    ) -> int:
+        home = self.home(block_addr)
+        owner = entry.owner
+        if owner is None or owner == core:
+            raise ProtocolError(f"bad owner {owner} for miss by {core}: {entry}")
+        owner_block = self.l2[owner].peek(block_addr)
+        if owner_block is None:
+            raise ProtocolError(
+                f"directory says core {owner} owns {block_addr:#x} "
+                "but no private copy exists"
+            )
+        if atype.is_write:
+            # Fwd-GetM: invalidate the owner, transfer ownership.
+            latency = self.noc.home_to_core(home, owner, MessageType.FWD_GET_M)
+            latency += self.noc.core_to_core(owner, core, MessageType.DATA)
+            self.stats.invalidations += 1
+            self.l2[owner].invalidate(block_addr)
+            self.l1[owner].invalidate(block_addr)
+            owner_block.state = I
+            self._install_private(core, block_addr, M, mask)
+            entry.state = M
+            entry.owner = core
+            entry.sharers.clear()
+            return latency
+        # Fwd-GetS: downgrade the owner to S, write back if dirty.
+        latency = self.noc.home_to_core(home, owner, MessageType.FWD_GET_S)
+        latency += self.noc.core_to_core(owner, core, MessageType.DATA)
+        self.stats.downgrades += 1
+        if owner_block.state is M:
+            self.noc.core_to_home(owner, home, MessageType.WB_DATA)
+            self.stats.writebacks += 1
+            self._llc_fill(block_addr)
+        owner_block.state = S
+        owner_block.clear_written()
+        self._install_private(core, block_addr, S, 0)
+        entry.state = S
+        entry.sharers = {owner, core}
+        entry.owner = None
+        return latency
+
+    # ------------------------------------------------------------------
+    def _install_private(
+        self, core: int, block_addr: int, state: CoherenceState, mask: int
+    ) -> CacheBlock:
+        block = self.l2[core].install(block_addr, state)
+        block.clear_written()
+        if mask:
+            block.mark_written(mask)
+        self.l1[core].install_block(block)
+        return block
+
+    # ------------------------------------------------------------------
+    # WARD API (no-ops for plain MESI; legacy behaviour, §5.1)
+    # ------------------------------------------------------------------
+    def add_region(self, start: int, end: int):
+        return None
+
+    def remove_region(self, region) -> int:
+        return 0
+
+    def check_invariants(self) -> None:
+        """Cross-check directory vs private caches (test/debug helper)."""
+        for directory in self.dirs:
+            for entry in directory.entries():
+                entry.check_invariants()
+                if entry.state in (M, E):
+                    block = self.l2[entry.owner].peek(entry.addr)
+                    if block is None or block.state not in (M, E):
+                        raise ProtocolError(f"owner copy missing for {entry}")
+                    # SWMR: nobody else may hold the block.
+                    for core in range(self.config.num_cores):
+                        if core != entry.owner and self.l2[core].peek(entry.addr):
+                            raise ProtocolError(
+                                f"SWMR violated at {entry.addr:#x}: core {core} "
+                                f"holds a copy alongside owner {entry.owner}"
+                            )
+                elif entry.state is S:
+                    for sharer in entry.sharers:
+                        block = self.l2[sharer].peek(entry.addr)
+                        if block is None or block.state is not S:
+                            raise ProtocolError(
+                                f"sharer {sharer} copy wrong for {entry}"
+                            )

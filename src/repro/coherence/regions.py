@@ -1,0 +1,132 @@
+"""WARD region tracking — the software-visible half of the WARDen protocol.
+
+The paper (§6.1) stores each region as two pointers (begin, end) in a
+CAM-like fully-associative structure supporting up to 1024 simultaneous
+regions, with range-compare lookups.  This module models that structure
+functionally: interval bookkeeping, overlap semantics ("if an address is
+somehow found in more than one region, we just mark it as WARD"), and the
+capacity limit.  When the CAM is full, further ``add_region`` requests are
+refused (the block simply stays under normal MESI coherence — always safe).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Set
+
+
+class WardRegion:
+    """One active WARD region: ``[start, end)`` plus its tracked W blocks."""
+
+    __slots__ = ("region_id", "start", "end", "blocks")
+
+    def __init__(self, region_id: int, start: int, end: int) -> None:
+        self.region_id = region_id
+        self.start = start
+        self.end = end
+        #: block addresses that entered the W state while this region was
+        #: active (registered by the directory; reconciled at removal)
+        self.blocks: Set[int] = set()
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WardRegion({self.region_id}, {self.start:#x}..{self.end:#x})"
+
+
+class RegionTable:
+    """The set of active WARD regions, with fast point lookups.
+
+    Lookups are O(log n + k) where k is the number of candidate intervals in
+    the scan window; regions may overlap freely.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self._next_id = 0
+        self._regions: Dict[int, WardRegion] = {}
+        #: sorted list of (start, region_id) for bisect lookups
+        self._starts: List[tuple] = []
+        self._max_len = 0
+        self.adds = 0
+        self.removes = 0
+        self.rejected_adds = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def full(self) -> bool:
+        return len(self._regions) >= self.capacity
+
+    def add(self, start: int, end: int) -> Optional[WardRegion]:
+        """Register ``[start, end)``; returns None if the CAM is full."""
+        if end <= start:
+            raise ValueError(f"empty region [{start:#x}, {end:#x})")
+        if self.full:
+            self.rejected_adds += 1
+            return None
+        region = WardRegion(self._next_id, start, end)
+        self._next_id += 1
+        self._regions[region.region_id] = region
+        bisect.insort(self._starts, (start, region.region_id))
+        self._max_len = max(self._max_len, end - start)
+        self.adds += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._regions))
+        return region
+
+    def remove(self, region: WardRegion) -> WardRegion:
+        """Deregister a region (the caller then reconciles ``region.blocks``)."""
+        if region.region_id not in self._regions:
+            raise KeyError(f"region {region.region_id} is not active")
+        del self._regions[region.region_id]
+        idx = bisect.bisect_left(self._starts, (region.start, region.region_id))
+        self._starts.pop(idx)
+        self.removes += 1
+        return region
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> Optional[WardRegion]:
+        """Return *an* active region containing ``addr`` (None if not WARD)."""
+        if not self._starts or self._max_len == 0:
+            return None
+        # Candidates start in (addr - max_len, addr]; scan right-to-left.
+        hi = bisect.bisect_right(self._starts, (addr, float("inf")))
+        lo_bound = addr - self._max_len
+        i = hi - 1
+        while i >= 0:
+            start, rid = self._starts[i]
+            if start < lo_bound:
+                break
+            region = self._regions[rid]
+            if region.contains(addr):
+                return region
+            i -= 1
+        return None
+
+    def contains(self, addr: int) -> bool:
+        return self.lookup(addr) is not None
+
+    def regions_containing(self, addr: int) -> List[WardRegion]:
+        """All active regions containing ``addr`` (overlaps allowed)."""
+        out = []
+        if not self._starts:
+            return out
+        hi = bisect.bisect_right(self._starts, (addr, float("inf")))
+        lo_bound = addr - self._max_len
+        i = hi - 1
+        while i >= 0:
+            start, rid = self._starts[i]
+            if start < lo_bound:
+                break
+            region = self._regions[rid]
+            if region.contains(addr):
+                out.append(region)
+            i -= 1
+        return out
+
+    def active_regions(self) -> List[WardRegion]:
+        return list(self._regions.values())

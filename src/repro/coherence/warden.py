@@ -1,0 +1,242 @@
+"""The WARDen protocol: MESI + the W state + reconciliation (paper §5).
+
+Behavioural summary (Fig. 5):
+
+* The directory tracks active WARD regions (globally, via the region CAM of
+  §6.1, modeled by :class:`~repro.coherence.regions.RegionTable`).
+* A directory request for a block whose address lies in an active region
+  moves the block to the ``W`` state.  While in ``W``, every GetS/GetM/Upgrade
+  is approved immediately with data furnished by the shared cache — no
+  invalidations, no downgrades, no forwards.  Each requesting core receives
+  an effectively-exclusive copy (private state ``W``: silent local reads and
+  writes thereafter), so false and benign-true sharing cost nothing.
+* Private caches are unmodified: they track written sectors (byte-granular
+  masks, §6.1) exactly as a sectored MESI cache would.
+* When software removes a region, reconciliation (§5.2) merges each W
+  block: single-sharer blocks convert in place to E/M; multi-sharer blocks
+  write their written sectors back to the home LLC (any arrival order is
+  correct by WAW-apathy) and the surviving copies downgrade to S.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import MachineConfig
+from repro.common.errors import ProtocolError
+from repro.common.stats import CoherenceStats
+from repro.common.types import AccessType, CoherenceState, MessageType, block_range
+from repro.coherence.directory import DirEntry
+from repro.coherence.mesi import MESIProtocol
+from repro.coherence.regions import RegionTable, WardRegion
+from repro.mem.block import CacheBlock
+
+I = CoherenceState.INVALID
+S = CoherenceState.SHARED
+E = CoherenceState.EXCLUSIVE
+M = CoherenceState.MODIFIED
+W = CoherenceState.WARD
+
+
+class WARDenProtocol(MESIProtocol):
+    """MESI augmented with the WARD state; full MESI behaviour is preserved
+    for every address outside an active WARD region (legacy apps run
+    unencumbered, §5.1)."""
+
+    name = "WARDen"
+    supports_ward = True
+
+    def __init__(self, config: MachineConfig, stats: Optional[CoherenceStats] = None):
+        super().__init__(config, stats)
+        self.region_table = RegionTable(capacity=config.max_ward_regions)
+        #: total cycles spent by directories reconciling blocks (overlappable)
+        self.reconcile_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Region management ("Add/Remove Region" instructions, §6.1)
+    # ------------------------------------------------------------------
+    def add_region(self, start: int, end: int) -> Optional[WardRegion]:
+        """Activate a WARD region; returns None when the region CAM is full
+        (the addresses then simply stay under normal MESI — always safe)."""
+        region = self.region_table.add(start, end)
+        if region is not None:
+            self.stats.ward_region_adds += 1
+            self.stats.count_message(MessageType.REGION_ADD, "intra")
+        return region
+
+    def remove_region(self, region: Optional[WardRegion]) -> int:
+        """Deactivate a region and reconcile its W blocks (§5.2).
+
+        Returns the directory cycles consumed — the caller may overlap them
+        with execution (§6.1 finds ~1 block per 50k cycles in practice).
+        """
+        if region is None:
+            return 0
+        self.region_table.remove(region)
+        self.stats.ward_region_removes += 1
+        self.stats.count_message(MessageType.REGION_REMOVE, "intra")
+        reconciled = 0
+        for block_addr in sorted(region.blocks):
+            entry = self.directory_for(block_addr).peek(block_addr)
+            if entry is None or entry.state is not W:
+                continue  # already evicted/reconciled
+            if self.region_table.contains(block_addr):
+                continue  # still covered by an overlapping active region
+            self._reconcile_block(entry)
+            reconciled += 1
+        cycles = reconciled * self.config.reconcile_cycles_per_block
+        self.reconcile_cycles += cycles
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Reconciliation (§5.2): no sharing / false sharing / true sharing
+    # ------------------------------------------------------------------
+    def _reconcile_block(self, entry: DirEntry) -> None:
+        """Merge one W block back to the MESI side (§5.2/§6.1).
+
+        Every copy's written sectors are written back to the home LLC and
+        merged in arrival order (any order is correct: by the WARD property
+        each sector was written by at most one thread — false sharing — or
+        the WAWs are apathetic — true sharing).  The LLC ends up holding the
+        merged block, so future readers anywhere get a shared-cache hit
+        instead of downgrading some private cache — the §5.3 handoff.
+
+        Private copies that are fully current (they wrote every written
+        sector, or nothing was written at all) are retained, downgraded to
+        S, so the writing core's own subsequent reads still hit locally.
+        Copies missing another core's sectors are stale and must be
+        invalidated.
+        """
+        home = self.home(entry.addr)
+        copies = []
+        for core in sorted(entry.sharers):
+            block = self.l2[core].peek(entry.addr)
+            if block is None:
+                continue  # evicted (and flushed) earlier
+            copies.append((core, block))
+
+        self.stats.reconciled_blocks += 1
+        union_mask = 0
+        true_sharing = False
+        seen = 0
+        for _, block in copies:
+            if block.written_mask & seen:
+                true_sharing = True
+            seen |= block.written_mask
+            union_mask |= block.written_mask
+
+        keep = set()
+        for core, block in copies:
+            current = block.written_mask == union_mask
+            if block.written_mask:
+                self.noc.core_to_home(core, home, MessageType.RECONCILE)
+                self.stats.writebacks += 1
+                block.clear_written()
+            if current:
+                block.state = S
+                keep.add(core)
+            else:
+                block.state = I
+                self.l2[core].invalidate(entry.addr)
+                self.l1[core].invalidate(entry.addr)
+        if union_mask:
+            self._llc_fill(entry.addr)
+        if len(copies) > 1:
+            self.stats.reconciled_shared_blocks += 1
+            if true_sharing:
+                self.stats.reconciled_true_sharing_blocks += 1
+        entry.owner = None
+        entry.sharers = keep
+        entry.state = S if keep else I
+
+    # ------------------------------------------------------------------
+    # Directory dispatch: intercept WARD blocks, else defer to MESI
+    # ------------------------------------------------------------------
+    def _handle_at_directory(
+        self,
+        core: int,
+        block_addr: int,
+        entry: DirEntry,
+        atype: AccessType,
+        mask: int,
+    ) -> int:
+        if entry.state is W:
+            return self._ward_grant(core, block_addr, entry, mask)
+        if self.region_table.contains(block_addr):
+            self._enter_ward(block_addr, entry)
+            return self._ward_grant(core, block_addr, entry, mask)
+        return super()._handle_at_directory(core, block_addr, entry, atype, mask)
+
+    def _handle_upgrade_at_dir(
+        self,
+        core: int,
+        block_addr: int,
+        entry: DirEntry,
+        block: CacheBlock,
+        mask: int,
+    ) -> int:
+        if entry.state is W or self.region_table.contains(block_addr):
+            if entry.state is not W:
+                self._enter_ward(block_addr, entry)
+            # The requester's own S copy becomes its W copy; no data needed.
+            latency = self.noc.home_to_core(self.home(block_addr), core, MessageType.DATA_E)
+            entry.sharers.add(core)
+            self._register_ward_block(block_addr)
+            block.state = W
+            block.mark_written(mask)
+            self.stats.ward_accesses += 1
+            return latency
+        return super()._handle_upgrade_at_dir(core, block_addr, entry, block, mask)
+
+    # ------------------------------------------------------------------
+    def _enter_ward(self, block_addr: int, entry: DirEntry) -> None:
+        """Move a directory entry into W, absorbing any existing copies.
+
+        Existing private copies stay valid in their caches (the directory
+        simply stops bothering them); their cores join the sharer list so
+        reconciliation can find their written sectors later.
+        """
+        if entry.owner is not None:
+            entry.sharers.add(entry.owner)
+            owned = self.l2[entry.owner].peek(block_addr)
+            if owned is not None:
+                owned.state = W
+        entry.owner = None
+        entry.state = W
+        self._register_ward_block(block_addr)
+
+    def _register_ward_block(self, block_addr: int) -> None:
+        for region in self.region_table.regions_containing(block_addr):
+            region.blocks.add(block_addr)
+
+    def _ward_grant(self, core: int, block_addr: int, entry: DirEntry, mask: int) -> int:
+        """Approve a request on a W block: data from the shared cache, an
+        effectively-exclusive copy to the requester, nobody else disturbed."""
+        latency = self._fetch_data_at_home(block_addr)
+        latency += self.noc.home_to_core(self.home(block_addr), core, MessageType.DATA_E)
+        entry.sharers.add(core)
+        self._register_ward_block(block_addr)
+        self._install_private(core, block_addr, W, mask)
+        self.stats.ward_accesses += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        for directory in self.dirs:
+            for entry in directory.entries():
+                if entry.state is not W:
+                    continue
+                for sharer in entry.sharers:
+                    block = self.l2[sharer].peek(entry.addr)
+                    if block is not None and block.state is I:
+                        raise ProtocolError(
+                            f"stale invalid sharer {sharer} at {entry.addr:#x}"
+                        )
+        if len(self.region_table) > self.region_table.capacity:
+            raise ProtocolError("region table exceeded its CAM capacity")
+
+
+def blocks_in_region(start: int, end: int, block_size: int):
+    """Convenience: every block base overlapped by region ``[start, end)``."""
+    return block_range(start, end - start, block_size)

@@ -1,0 +1,60 @@
+"""Shared primitive types, configuration presets, statistics, and errors.
+
+Everything in this package is dependency-free (standard library only) and is
+imported by every other ``repro`` subpackage.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    EnergyConfig,
+    MachineConfig,
+    disaggregated,
+    dual_socket,
+    many_socket,
+    single_socket,
+    validation_machine,
+)
+from repro.common.errors import (
+    ConfigError,
+    DisentanglementError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WardViolationError,
+)
+from repro.common.stats import CoherenceStats, CoreStats, EnergyStats, RunStats
+from repro.common.types import (
+    AccessType,
+    CoherenceState,
+    MessageType,
+    block_of,
+    block_offset,
+    block_range,
+)
+
+__all__ = [
+    "AccessType",
+    "CacheConfig",
+    "CoherenceState",
+    "CoherenceStats",
+    "ConfigError",
+    "CoreStats",
+    "DisentanglementError",
+    "EnergyConfig",
+    "EnergyStats",
+    "MachineConfig",
+    "MessageType",
+    "ProtocolError",
+    "ReproError",
+    "RunStats",
+    "SimulationError",
+    "WardViolationError",
+    "block_of",
+    "block_offset",
+    "block_range",
+    "disaggregated",
+    "dual_socket",
+    "many_socket",
+    "single_socket",
+    "validation_machine",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine or protocol configuration was supplied."""
+
+
+class ProtocolError(ReproError):
+    """A coherence protocol invariant was violated (a simulator bug)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DisentanglementError(ReproError):
+    """A task used data outside its root-to-leaf heap path (paper Def. 1)."""
+
+
+class WardViolationError(ReproError):
+    """An access pattern violated the WARD property inside an active region.
+
+    Raised by :mod:`repro.verify.ward_checker` when a cross-hardware-thread
+    read-after-write is observed at an address covered by an active WARD
+    region (condition 1 of the WARD definition, paper §3.1).
+    """
+
+    def __init__(self, addr: int, writer: int, reader: int) -> None:
+        super().__init__(
+            f"WARD violation: hardware thread {reader} read address {addr:#x} "
+            f"written by hardware thread {writer} inside an active WARD region"
+        )
+        self.addr = addr
+        self.writer = writer
+        self.reader = reader

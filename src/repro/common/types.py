@@ -1,0 +1,124 @@
+"""Primitive types shared across the simulator.
+
+Addresses are plain integers into a flat simulated physical address space.
+The cache block size is configurable (64 bytes by default, as in the paper's
+Table 2); helpers here take the block size explicitly so they stay pure.
+"""
+
+from __future__ import annotations
+
+import enum
+
+DEFAULT_BLOCK_SIZE = 64
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access issued by a core."""
+
+    LOAD = "load"
+    STORE = "store"
+    #: Atomic read-modify-write (compare-and-swap style); acts as both a load
+    #: and a store for coherence purposes and is never WARD-eligible.
+    RMW = "rmw"
+
+    @property
+    def is_write(self) -> bool:
+        return self is not AccessType.LOAD
+
+    @property
+    def is_read(self) -> bool:
+        return self is not AccessType.STORE
+
+
+class CoherenceState(enum.Enum):
+    """MESI states plus the WARD state of the WARDen protocol (Fig. 5)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+    WARD = "W"
+
+    @property
+    def grants_read(self) -> bool:
+        return self is not CoherenceState.INVALID
+
+    @property
+    def grants_write(self) -> bool:
+        return self in (
+            CoherenceState.MODIFIED,
+            CoherenceState.EXCLUSIVE,
+            CoherenceState.WARD,
+        )
+
+    @property
+    def is_ward(self) -> bool:
+        return self is CoherenceState.WARD
+
+
+class MessageType(enum.Enum):
+    """Coherence messages, following Nagarajan et al.'s naming (paper §5).
+
+    Only the messages that matter for the paper's statistics (traffic counts,
+    invalidations, downgrades) are distinguished; transient-state handshakes
+    are folded into their triggering message.
+    """
+
+    GET_S = "GetS"
+    GET_M = "GetM"
+    UPGRADE = "Upg"
+    PUT_M = "PutM"
+    FWD_GET_S = "Fwd-GetS"
+    FWD_GET_M = "Fwd-GetM"
+    INV = "Inv"
+    INV_ACK = "Inv-Ack"
+    DATA = "Data"
+    DATA_E = "Data-E"
+    WB_DATA = "WB-Data"
+    RECONCILE = "Reconcile"
+    REGION_ADD = "Region-Add"
+    REGION_REMOVE = "Region-Remove"
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (MessageType.DATA, MessageType.DATA_E, MessageType.WB_DATA)
+
+
+def block_of(addr: int, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+    """Return the block-aligned base address containing ``addr``."""
+    return addr - (addr % block_size)
+
+
+def block_offset(addr: int, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+    """Return the byte offset of ``addr`` within its cache block."""
+    return addr % block_size
+
+
+def block_range(start: int, size: int, block_size: int = DEFAULT_BLOCK_SIZE):
+    """Yield every block base address overlapped by ``[start, start + size)``.
+
+    >>> list(block_range(0, 1))
+    [0]
+    >>> list(block_range(60, 8))
+    [0, 64]
+    """
+    if size <= 0:
+        return
+    first = block_of(start, block_size)
+    last = block_of(start + size - 1, block_size)
+    for base in range(first, last + 1, block_size):
+        yield base
+
+
+def sector_mask(addr: int, size: int, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+    """Byte-granularity write mask for an access confined to one block.
+
+    The paper's sectored caches track writes per byte (§6.1).  The mask is an
+    integer with bit *i* set when byte *i* of the block was touched.
+    """
+    off = block_offset(addr, block_size)
+    if off + size > block_size:
+        raise ValueError(
+            f"access at offset {off} size {size} crosses a {block_size}B block"
+        )
+    return ((1 << size) - 1) << off

@@ -1,0 +1,10 @@
+"""Energy (McPAT stand-in) and area (CACTI stand-in) models."""
+
+from repro.energy.cacti import region_cam_area_overhead, sectoring_area_overhead
+from repro.energy.model import EnergyModel
+
+__all__ = [
+    "EnergyModel",
+    "region_cam_area_overhead",
+    "sectoring_area_overhead",
+]

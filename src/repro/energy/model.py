@@ -1,0 +1,79 @@
+"""Per-event energy accounting (the McPAT substitute, §7).
+
+The model charges:
+
+* dynamic energy per cache access at each level and per DRAM access,
+* network energy per message, scaled by flit count (data vs control) and
+  link class (on-die hop, cross-socket link, disaggregated remote link),
+* core dynamic energy per retired instruction,
+* static (leakage + clock) energy per core-cycle of the run.
+
+Absolute joules are representative, not calibrated; the paper's results
+(Figs. 7b/8b/12b) are *relative* savings, which depend only on the ratios.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import EnergyConfig, MachineConfig
+from repro.common.stats import EnergyStats, RunStats
+from repro.common.types import MessageType
+
+
+class EnergyModel:
+    """Converts a finished :class:`RunStats` into :class:`EnergyStats`."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.energy: EnergyConfig = config.energy
+
+    # ------------------------------------------------------------------
+    def _message_nj(self, mtype: MessageType, link: str, count: int) -> float:
+        e = self.energy
+        flits = e.data_flits if mtype.carries_data else e.ctrl_flits
+        if link == "local":
+            return 0.0
+        if link == "intra":
+            per_hop = e.hop_intra_nj
+        elif link == "socket":
+            per_hop = e.hop_remote_nj if self.config.disaggregated else e.hop_socket_nj
+        elif link == "memory":
+            # DRAM channel traversal; the access energy itself is separate.
+            per_hop = e.hop_intra_nj
+        else:
+            raise ValueError(f"unknown link class {link!r}")
+        return flits * per_hop * count
+
+    # ------------------------------------------------------------------
+    def compute(self, stats: RunStats) -> EnergyStats:
+        """Fill and return ``stats.energy`` from the run's counters."""
+        e = self.energy
+        coh = stats.coherence
+        cores = stats.cores
+
+        out = EnergyStats()
+        l1_accesses = coh.l1_accesses or (cores.loads + cores.stores + cores.rmws)
+        out.cache_nj = (
+            l1_accesses * e.l1_access_nj
+            + coh.l2_accesses * e.l2_access_nj
+            + coh.l3_accesses * e.l3_access_nj
+        )
+        out.dram_nj = coh.dram_accesses * e.dram_access_nj
+        out.network_nj = sum(
+            self._message_nj(mtype, link, count)
+            for (mtype, link), count in coh.messages.items()
+        )
+        out.core_dynamic_nj = cores.instructions * e.core_dynamic_per_instr_nj
+        out.core_static_nj = (
+            stats.cycles
+            * self.config.num_cores
+            * e.static_nj_per_cycle_per_core()
+        )
+        stats.energy = out
+        return out
+
+
+def percent_savings(baseline_nj: float, improved_nj: float) -> float:
+    """Energy savings in percent, as plotted in Figs. 7b/8b/12b."""
+    if baseline_nj <= 0:
+        return 0.0
+    return (baseline_nj - improved_nj) / baseline_nj * 100.0

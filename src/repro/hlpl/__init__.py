@@ -1,0 +1,37 @@
+"""A fork-join high-level parallel language runtime (the MPL stand-in, §4).
+
+The package provides:
+
+* a spawn tree of lightweight tasks (:mod:`repro.hlpl.task`),
+* the heap hierarchy with page bump-allocation and WARD page marking
+  (:mod:`repro.hlpl.heap`),
+* simulated arrays whose loads/stores drive the machine model
+  (:mod:`repro.hlpl.arrays`),
+* the user-facing API — ``par``, ``parallel_for``, ``tabulate``, ``reduce``,
+  ``filter`` … (:mod:`repro.hlpl.api`),
+* a work-stealing scheduler whose deques live in simulated memory
+  (:mod:`repro.hlpl.scheduler`),
+* the runtime tying it all together (:mod:`repro.hlpl.runtime`).
+
+Benchmark code is written as Python generators against
+:class:`~repro.hlpl.api.TaskContext`; the runtime executes them on the
+simulated machine under either MESI or WARDen.
+"""
+
+from repro.hlpl.api import TaskContext
+from repro.hlpl.arrays import SimArray
+from repro.hlpl.heap import PAGE_SIZE, Heap, Page
+from repro.hlpl.policy import MarkingPolicy
+from repro.hlpl.runtime import Runtime
+from repro.hlpl.task import TaskNode
+
+__all__ = [
+    "Heap",
+    "MarkingPolicy",
+    "PAGE_SIZE",
+    "Page",
+    "Runtime",
+    "SimArray",
+    "TaskContext",
+    "TaskNode",
+]

@@ -1,0 +1,108 @@
+"""Simulated arrays: the bridge between benchmark code and the machine.
+
+A :class:`SimArray` owns a span of simulated addresses inside a heap and a
+Python backing list for functional values.  Its accessors are generators:
+they yield one timing operation (charged by the engine on the issuing
+hardware thread) and perform the value effect in Python, so benchmarks stay
+data-dependent while the cache model sees a faithful address stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.sim.ops import LoadOp, RmwOp, StoreOp
+
+
+class SimArray:
+    """A fixed-length array of ``elem_size``-byte elements in a heap."""
+
+    __slots__ = ("base", "length", "elem_size", "heap", "data", "name")
+
+    def __init__(
+        self,
+        base: int,
+        length: int,
+        elem_size: int = 8,
+        heap=None,
+        fill: Any = None,
+        name: str = "",
+    ) -> None:
+        if length < 0:
+            raise ValueError("array length must be >= 0")
+        if elem_size not in (1, 2, 4, 8):
+            raise ValueError("elem_size must be a power of two <= 8")
+        self.base = base
+        self.length = length
+        self.elem_size = elem_size
+        self.heap = heap
+        self.data: List[Any] = [fill] * length
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def addr(self, index: int) -> int:
+        return self.base + index * self.elem_size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.length * self.elem_size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"index {index} out of range for {self.name or 'array'}"
+                f"[{self.length}]"
+            )
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------------
+    # Simulated accessors (generators; use via ``yield from``)
+    # ------------------------------------------------------------------
+    def get(self, index: int, spin: bool = False):
+        """Load element ``index``."""
+        self._check(index)
+        yield LoadOp(self.addr(index), self.elem_size, heap=self.heap, spin=spin)
+        return self.data[index]
+
+    def set(self, index: int, value: Any):
+        """Store ``value`` into element ``index``."""
+        self._check(index)
+        yield StoreOp(self.addr(index), self.elem_size, heap=self.heap)
+        self.data[index] = value
+
+    def cas(self, index: int, expected: Any, new: Any):
+        """Atomic compare-and-swap; returns True on success."""
+        self._check(index)
+        yield RmwOp(self.addr(index), self.elem_size, heap=self.heap)
+        if self.data[index] == expected:
+            self.data[index] = new
+            return True
+        return False
+
+    def fetch_add(self, index: int, delta: Any):
+        """Atomic fetch-and-add; returns the previous value."""
+        self._check(index)
+        yield RmwOp(self.addr(index), self.elem_size, heap=self.heap)
+        old = self.data[index]
+        self.data[index] = old + delta
+        return old
+
+    # ------------------------------------------------------------------
+    # Python-only access (tests, reference checks; no simulated traffic)
+    # ------------------------------------------------------------------
+    def peek(self, index: int) -> Any:
+        self._check(index)
+        return self.data[index]
+
+    def poke(self, index: int, value: Any) -> None:
+        self._check(index)
+        self.data[index] = value
+
+    def to_list(self) -> List[Any]:
+        return list(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "SimArray"
+        return f"{label}(base={self.base:#x}, len={self.length})"

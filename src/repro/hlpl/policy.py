@@ -1,0 +1,30 @@
+"""WARD-marking policies for the runtime (ablation knob).
+
+The paper's mechanism (§4.2) marks freshly-allocated leaf-heap pages and
+unmarks them at forks.  Our default additionally lets the standard-library
+data-parallel constructs (``tabulate``/``map``/``scatter``) keep their output
+arrays marked for the construct's duration — the construct's semantics
+guarantee the WARD property by construction (see DESIGN.md).  ``NONE``
+disables marking entirely (useful to isolate protocol overheads).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MarkingPolicy(enum.Enum):
+    #: never mark anything (WARDen degenerates to MESI behaviour)
+    NONE = "none"
+    #: §4.2 exactly: mark leaf-heap pages at allocation, unmark at forks
+    LEAF_PAGES = "leaf-pages"
+    #: LEAF_PAGES plus construct-scoped regions on library primitives
+    FULL = "full"
+
+    @property
+    def marks_pages(self) -> bool:
+        return self is not MarkingPolicy.NONE
+
+    @property
+    def marks_constructs(self) -> bool:
+        return self is MarkingPolicy.FULL

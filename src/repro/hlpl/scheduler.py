@@ -1,0 +1,149 @@
+"""Work-stealing scheduler with simulated-memory deques.
+
+Each worker owns a deque; the owner pushes/pops at the bottom, thieves
+steal from the top with an atomic.  The deque's top/bottom words live at
+simulated addresses (padded to one cache block each, as real runtimes pad),
+so scheduling itself generates realistic coherence traffic — identically for
+MESI and WARDen, since runtime metadata is never inside a WARD region.
+
+Idle workers spin with exponential backoff (busy-wait synchronization, as in
+the PBBS suite — see the paper's Fig. 11 discussion of ray).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.common.types import AccessType
+
+BACKOFF_MIN = 64
+#: capped low: long backoffs make steal latency (and thus the critical path)
+#: jitter by thousands of cycles, drowning protocol effects in noise
+BACKOFF_MAX = 512
+
+
+class WorkStealingScheduler:
+    """Implements the engine's scheduler interface (§2.1's "standard
+    work-stealing scheduler")."""
+
+    def __init__(self, rt, model_traffic: bool = True, seed: int = 0) -> None:
+        self.rt = rt
+        machine = rt.machine
+        nthreads = machine.config.num_threads
+        bs = machine.config.block_size
+        self.deques: List[deque] = [deque() for _ in range(nthreads)]
+        self.total_ready = 0
+        self.finished = False
+        #: when False, deque/steal operations cost fixed cycles instead of
+        #: simulated memory traffic (diagnostic / ablation knob)
+        self.model_traffic = model_traffic
+        self.bottom_addr = [machine.sbrk(bs, bs) for _ in range(nthreads)]
+        self.top_addr = [machine.sbrk(bs, bs) for _ in range(nthreads)]
+        self.flag_addr = [machine.sbrk(bs, bs) for _ in range(nthreads)]
+        for t in range(nthreads):
+            machine.place(self.bottom_addr[t], bs, t)
+            machine.place(self.top_addr[t], bs, t)
+            machine.place(self.flag_addr[t], bs, t)
+        self._backoff = [BACKOFF_MIN] * nthreads
+        # Deterministic per-worker victim choice (xorshift-style LCG),
+        # perturbed by the run seed so harnesses can average out
+        # steal-timing noise across runs.
+        self._rng_state = [
+            (0x9E3779B9 * (t + 1) ^ (seed * 0x85EBCA6B)) & 0xFFFFFFFF
+            for t in range(nthreads)
+        ]
+
+    def _next_victim(self, thread: int) -> int:
+        """NUMA-aware victim choice: 3 of 4 probes stay on the thief's
+        socket (a remote probe costs a full cross-socket round trip)."""
+        state = self._rng_state[thread]
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        self._rng_state[thread] = state
+        nthreads = len(self.deques)
+        config = self.rt.machine.config
+        per_socket = config.cores_per_socket * config.threads_per_core
+        if config.num_sockets > 1 and state & 0x3 == 0:
+            # remote probe: uniform over all other threads
+            victim = (state >> 2) % (nthreads - 1)
+            if victim >= thread:
+                victim += 1
+            return victim
+        base = thread - (thread % per_socket)
+        if per_socket <= 1:
+            victim = (state >> 2) % (nthreads - 1)
+            return victim + 1 if victim >= thread else victim
+        local = base + (state >> 2) % (per_socket - 1)
+        if local >= thread:
+            local += 1
+        return local
+
+    def _touch(self, thread: int, addr: int, atype, spin: bool = False) -> None:
+        if self.model_traffic:
+            self.rt.machine.access(thread, addr, 8, atype, spin=spin)
+        else:
+            self.rt.machine.cores[thread].advance(4)
+
+    # ------------------------------------------------------------------
+    def push(self, thread: int, strand) -> None:
+        """Owner pushes a ready strand at the bottom of its own deque."""
+        machine = self.rt.machine
+        strand.ready_clock = machine.cores[thread].clock
+        self.deques[thread].append(strand)
+        self.total_ready += 1
+        self._touch(thread, self.bottom_addr[thread], AccessType.STORE)
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+    def has_work_for(self, worker) -> bool:
+        # Idle workers always spin (busy-wait runtime); termination is
+        # signalled through ``finished``.
+        return not self.finished
+
+    def on_idle(self, worker) -> None:
+        thread = worker.thread
+        machine = self.rt.machine
+        core = machine.cores[thread]
+        stats = core.stats
+
+        # 1. Own deque: pop the newest task (bottom).
+        self._touch(thread, self.bottom_addr[thread], AccessType.LOAD)
+        own = self.deques[thread]
+        if own:
+            strand = own.pop()
+            self.total_ready -= 1
+            self._touch(thread, self.bottom_addr[thread], AccessType.STORE)
+            self._assign(worker, strand)
+            return
+
+        # 2. Steal attempt: probe one random victim (standard work stealing
+        #    probes a single victim per attempt, then backs off briefly).
+        if self.total_ready > 0 and len(self.deques) > 1:
+            victim = self._next_victim(thread)
+            stats.steal_attempts += 1
+            self._touch(thread, self.top_addr[victim], AccessType.LOAD)
+            vdeque = self.deques[victim]
+            if vdeque:
+                self._touch(thread, self.top_addr[victim], AccessType.RMW)
+                strand = vdeque.popleft()
+                self.total_ready -= 1
+                stats.successful_steals += 1
+                self._assign(worker, strand)
+                return
+            core.advance(BACKOFF_MIN)  # brief pause before the next probe
+            return
+
+        # 3. Nothing to do: spin on a local flag with exponential backoff.
+        self._touch(thread, self.flag_addr[thread], AccessType.LOAD, spin=True)
+        core.advance(self._backoff[thread])
+        self._backoff[thread] = min(self._backoff[thread] * 2, BACKOFF_MAX)
+
+    # ------------------------------------------------------------------
+    def _assign(self, worker, strand) -> None:
+        core = self.rt.machine.cores[worker.thread]
+        if strand.ready_clock > core.clock:
+            # Causality: a strand cannot run before it was made ready.
+            core.clock = strand.ready_clock
+        self._backoff[worker.thread] = BACKOFF_MIN
+        worker.strand = strand

@@ -1,0 +1,7 @@
+"""Memory-system substrate: cache arrays, blocks, and the interconnect model."""
+
+from repro.mem.block import CacheBlock
+from repro.mem.cache import SetAssocCache
+from repro.mem.interconnect import Interconnect, LinkClass
+
+__all__ = ["CacheBlock", "SetAssocCache", "Interconnect", "LinkClass"]

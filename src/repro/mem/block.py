@@ -1,0 +1,43 @@
+"""A cache block (line) with coherence state and sectored write tracking."""
+
+from __future__ import annotations
+
+from repro.common.types import CoherenceState
+
+
+class CacheBlock:
+    """One cache line held by a private cache hierarchy or LLC slice.
+
+    ``written_mask`` is the sectored-cache byte write mask of §6.1: bit *i* is
+    set when byte *i* has been written locally since the block was installed
+    (or since the last reconciliation).  Only meaningful in the M and W
+    states.
+    """
+
+    __slots__ = ("addr", "state", "written_mask")
+
+    def __init__(
+        self,
+        addr: int,
+        state: CoherenceState = CoherenceState.INVALID,
+        written_mask: int = 0,
+    ) -> None:
+        self.addr = addr
+        self.state = state
+        self.written_mask = written_mask
+
+    @property
+    def dirty(self) -> bool:
+        return self.written_mask != 0 or self.state is CoherenceState.MODIFIED
+
+    def mark_written(self, mask: int) -> None:
+        self.written_mask |= mask
+
+    def clear_written(self) -> None:
+        self.written_mask = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheBlock(addr={self.addr:#x}, state={self.state.value}, "
+            f"mask={self.written_mask:#x})"
+        )

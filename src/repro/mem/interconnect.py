@@ -1,0 +1,76 @@
+"""Interconnect latency/traffic model.
+
+Three link classes, mirroring the paper's three validation scenarios
+(Table 1) and the disaggregated study (§7.3):
+
+* ``LOCAL``  — requester and responder share a tile (same core's caches).
+* ``INTRA``  — on-die hop(s) between a core and its socket's LLC/directory.
+* ``SOCKET`` — the inter-socket link (UPI-like), or the 1 us remote link
+  when the machine is disaggregated.
+
+Message *energy* is not computed here — the interconnect records per-class
+message counts into :class:`~repro.common.stats.CoherenceStats`, and
+:mod:`repro.energy.model` converts them afterwards.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.config import MachineConfig
+from repro.common.stats import CoherenceStats
+from repro.common.types import MessageType
+
+
+class LinkClass(enum.Enum):
+    LOCAL = "local"
+    INTRA = "intra"
+    SOCKET = "socket"
+    MEMORY = "memory"
+
+
+class Interconnect:
+    """Computes hop latencies and records traffic between topology points."""
+
+    def __init__(self, config: MachineConfig, stats: CoherenceStats) -> None:
+        self.config = config
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    def link_between_cores(self, core_a: int, core_b: int) -> LinkClass:
+        if core_a == core_b:
+            return LinkClass.LOCAL
+        if self.config.socket_of_core(core_a) == self.config.socket_of_core(core_b):
+            return LinkClass.INTRA
+        return LinkClass.SOCKET
+
+    def link_core_to_socket(self, core: int, socket: int) -> LinkClass:
+        if self.config.socket_of_core(core) == socket:
+            return LinkClass.INTRA
+        return LinkClass.SOCKET
+
+    def latency(self, link: LinkClass) -> int:
+        if link is LinkClass.LOCAL:
+            return 0
+        if link is LinkClass.INTRA:
+            return self.config.hop_intra_latency
+        if link is LinkClass.SOCKET:
+            return self.config.cross_socket_latency()
+        return self.config.dram_latency
+
+    # ------------------------------------------------------------------
+    def send(self, mtype: MessageType, link: LinkClass, count: int = 1) -> int:
+        """Record ``count`` messages on ``link``; return one-way latency."""
+        self.stats.count_message(mtype, link.value, count)
+        return self.latency(link)
+
+    def core_to_home(self, core: int, home_socket: int, mtype: MessageType) -> int:
+        """Send a request from a core's private cache to a home LLC slice."""
+        return self.send(mtype, self.link_core_to_socket(core, home_socket))
+
+    def home_to_core(self, home_socket: int, core: int, mtype: MessageType) -> int:
+        return self.send(mtype, self.link_core_to_socket(core, home_socket))
+
+    def core_to_core(self, core_a: int, core_b: int, mtype: MessageType) -> int:
+        """Cache-to-cache transfer (forwarded requests / data responses)."""
+        return self.send(mtype, self.link_between_cores(core_a, core_b))

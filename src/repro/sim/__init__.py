@@ -1,0 +1,19 @@
+"""Machine model and discrete execution engine."""
+
+from repro.sim.core import CoreModel
+from repro.sim.engine import Engine, Strand, Worker
+from repro.sim.machine import Machine
+from repro.sim.ops import ComputeOp, ForkOp, LoadOp, RmwOp, StoreOp
+
+__all__ = [
+    "ComputeOp",
+    "CoreModel",
+    "Engine",
+    "ForkOp",
+    "LoadOp",
+    "Machine",
+    "RmwOp",
+    "StoreOp",
+    "Strand",
+    "Worker",
+]

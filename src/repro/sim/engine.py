@@ -1,0 +1,152 @@
+"""Conservative min-clock discrete execution engine.
+
+Every hardware thread owns a cycle clock (its :class:`CoreModel`).  The
+engine repeatedly picks the runnable worker with the globally smallest clock
+and executes exactly one yielded operation, so coherence transactions are
+processed in a globally consistent time order — the "simplified cycle-sim"
+substitute for Sniper's interval simulation.
+
+Two usage modes:
+
+* **Pinned** — strands are pinned to hardware threads with :meth:`Engine.pin`
+  and run to completion (used by the Table-1 validation microbenchmark).
+* **Scheduled** — a scheduler object (the HLPL work-stealing runtime) is
+  installed; the engine consults it for idle workers and for termination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.types import AccessType
+from repro.sim.machine import Machine
+from repro.sim.ops import ComputeOp, ForkOp, LoadOp, RmwOp, StoreOp
+
+
+class Strand:
+    """One runnable generator plus its (optional) spawn-tree task."""
+
+    __slots__ = ("gen", "task", "on_done", "resume_value", "ready_clock")
+
+    def __init__(self, gen, task=None, on_done: Optional[Callable] = None):
+        self.gen = gen
+        self.task = task
+        self.on_done = on_done
+        self.resume_value = None
+        #: cycle at which this strand became runnable (steal causality)
+        self.ready_clock = 0
+
+
+class Worker:
+    """A hardware thread as seen by the engine."""
+
+    __slots__ = ("thread", "strand")
+
+    def __init__(self, thread: int):
+        self.thread = thread
+        self.strand: Optional[Strand] = None
+
+
+class Engine:
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.workers = [Worker(t) for t in range(machine.config.num_threads)]
+        #: callable(worker, ForkOp) installed by the HLPL runtime
+        self.fork_handler: Optional[Callable] = None
+        #: scheduler with .finished, .has_work_for(worker), .on_idle(worker)
+        self.scheduler = None
+        #: callable(worker, op, AccessType) for dynamic checkers
+        self.access_hook: Optional[Callable] = None
+        self.steps = 0
+        #: optional runaway guard (SimulationError when exceeded)
+        self.max_steps: Optional[int] = None
+        #: the worker currently being stepped (used by the runtime to charge
+        #: internal work such as region instructions to the right thread)
+        self.current_worker: Optional[Worker] = None
+
+    # ------------------------------------------------------------------
+    def pin(self, thread: int, gen, on_done: Optional[Callable] = None) -> Strand:
+        """Pin a raw generator to a hardware thread (validation mode)."""
+        worker = self.workers[thread]
+        if worker.strand is not None:
+            raise SimulationError(f"thread {thread} already has a strand")
+        strand = Strand(gen, on_done=on_done)
+        worker.strand = strand
+        return strand
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        machine_cores = self.machine.cores
+        workers = self.workers
+        scheduler = self.scheduler
+        while True:
+            if scheduler is not None and scheduler.finished:
+                return
+            best = None
+            best_clock = None
+            for w in workers:
+                if w.strand is None:
+                    if scheduler is None or not scheduler.has_work_for(w):
+                        continue
+                clock = machine_cores[w.thread].clock
+                if best_clock is None or clock < best_clock:
+                    best = w
+                    best_clock = clock
+            if best is None:
+                if scheduler is None:
+                    return  # pinned mode: everything ran to completion
+                raise SimulationError(
+                    "deadlock: scheduler not finished but no worker is runnable"
+                )
+            if best.strand is None:
+                scheduler.on_idle(best)
+            else:
+                self.step(best)
+
+    # ------------------------------------------------------------------
+    def step(self, worker: Worker) -> None:
+        """Execute one yielded operation of the worker's current strand."""
+        strand = worker.strand
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise SimulationError(f"engine exceeded max_steps={self.max_steps}")
+        self.current_worker = worker
+        try:
+            op = strand.gen.send(strand.resume_value)
+        except StopIteration as stop:
+            worker.strand = None
+            if strand.on_done is not None:
+                strand.on_done(getattr(stop, "value", None), worker)
+            return
+        strand.resume_value = None
+
+        cls = op.__class__
+        thread = worker.thread
+        machine = self.machine
+        if cls is ComputeOp:
+            machine.compute(thread, op.instrs)
+        elif cls is LoadOp:
+            if self.access_hook is not None:
+                self.access_hook(worker, op, AccessType.LOAD)
+            strand.resume_value = machine.access(
+                thread, op.addr, op.size, AccessType.LOAD, spin=op.spin
+            )
+        elif cls is StoreOp:
+            if self.access_hook is not None:
+                self.access_hook(worker, op, AccessType.STORE)
+            strand.resume_value = machine.access(
+                thread, op.addr, op.size, AccessType.STORE
+            )
+        elif cls is RmwOp:
+            if self.access_hook is not None:
+                self.access_hook(worker, op, AccessType.RMW)
+            strand.resume_value = machine.access(
+                thread, op.addr, op.size, AccessType.RMW
+            )
+        elif cls is ForkOp:
+            if self.fork_handler is None:
+                raise SimulationError("ForkOp yielded but no fork handler installed")
+            self.fork_handler(worker, op)
+        else:
+            raise SimulationError(f"unknown operation {op!r}")

@@ -1,0 +1,134 @@
+"""The simulated machine: cores + coherence protocol + address space."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import RunStats
+from repro.common.types import AccessType
+from repro.coherence.mesi import MESIProtocol
+from repro.coherence.warden import WARDenProtocol
+from repro.sim.core import CoreModel
+
+PROTOCOLS = {"mesi": MESIProtocol, "warden": WARDenProtocol}
+
+#: Base of the simulated physical address space handed out by sbrk.
+ADDRESS_SPACE_BASE = 0x1_0000
+
+
+class Machine:
+    """Cores, caches, directory, and a bump allocator for simulated memory."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        protocol: Union[str, type] = "mesi",
+    ) -> None:
+        self.config = config
+        if isinstance(protocol, str):
+            try:
+                protocol_cls = PROTOCOLS[protocol.lower()]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+                ) from None
+        else:
+            protocol_cls = protocol
+        self.run_stats = RunStats(
+            protocol=protocol_cls.name,
+            machine=config.name,
+            num_threads=config.num_threads,
+        )
+        self.protocol = protocol_cls(config, self.run_stats.coherence)
+        self.cores: List[CoreModel] = [
+            CoreModel(config, t) for t in range(config.num_threads)
+        ]
+        self._brk = ADDRESS_SPACE_BASE
+
+    # ------------------------------------------------------------------
+    # Address space
+    # ------------------------------------------------------------------
+    def sbrk(self, nbytes: int, align: Optional[int] = None) -> int:
+        """Allocate ``nbytes`` of simulated memory; returns the base address."""
+        if nbytes <= 0:
+            raise ValueError("sbrk needs a positive size")
+        align = align or self.config.block_size
+        self._brk = (self._brk + align - 1) // align * align
+        base = self._brk
+        self._brk += nbytes
+        return base
+
+    # ------------------------------------------------------------------
+    # Memory accesses (charged to the issuing hardware thread)
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        thread: int,
+        addr: int,
+        size: int,
+        atype: AccessType,
+        spin: bool = False,
+    ) -> int:
+        core = self.config.core_of_thread(thread)
+        latency = self.protocol.access(core, addr, size, atype)
+        cm = self.cores[thread]
+        if atype is AccessType.LOAD:
+            cm.load(latency, spin=spin)
+        elif atype is AccessType.STORE:
+            cm.store(latency)
+        else:
+            cm.rmw(latency)
+        return latency
+
+    def compute(self, thread: int, instrs: int) -> None:
+        self.cores[thread].compute(instrs)
+
+    def place(self, addr: int, size: int, thread: int) -> None:
+        """NUMA first-touch: home the pages of ``[addr, addr+size)`` on the
+        allocating thread's socket."""
+        socket = self.config.socket_of_thread(thread)
+        self.protocol.set_page_home(addr, size, socket)
+
+    # ------------------------------------------------------------------
+    # WARD region interface (the Add/Remove Region instructions of §6.1)
+    # ------------------------------------------------------------------
+    @property
+    def supports_ward(self) -> bool:
+        return self.protocol.supports_ward
+
+    def add_ward_region(self, thread: int, start: int, end: int):
+        """Execute an Add-Region instruction on ``thread``; returns a region
+        handle (None when unsupported or the region CAM is full)."""
+        if not self.protocol.supports_ward:
+            return None
+        self.cores[thread].compute(1)  # the new instruction itself
+        return self.protocol.add_region(start, end)
+
+    def remove_ward_region(self, thread: int, region) -> None:
+        """Execute a Remove-Region instruction; reconciliation happens at the
+        directory and is overlapped with execution (§6.1), so only the
+        instruction cost lands on the issuing thread."""
+        if region is None or not self.protocol.supports_ward:
+            return
+        self.cores[thread].compute(1)
+        self.protocol.remove_region(region)
+
+    # ------------------------------------------------------------------
+    def finalize(self, makespan: Optional[int] = None) -> RunStats:
+        """Aggregate per-thread counters into the RunStats and return it."""
+        stats = self.run_stats
+        stats.cores = type(stats.cores)()
+        for cm in self.cores:
+            stats.cores.merge(cm.stats)
+        stats.coherence.l1_accesses = sum(
+            c.hits + c.misses for c in self.protocol.l1
+        )
+        stats.coherence.l2_accesses = sum(
+            c.hits + c.misses for c in self.protocol.l2
+        )
+        if makespan is None:
+            makespan = max((cm.clock for cm in self.cores), default=0)
+        stats.cycles = makespan
+        return stats

@@ -1,0 +1,6 @@
+"""Dynamic checkers for the memory-discipline properties the paper relies on."""
+
+from repro.verify.coherence_checker import ReconciliationModel, WardMemoryModel
+from repro.verify.ward_checker import WardChecker
+
+__all__ = ["ReconciliationModel", "WardChecker", "WardMemoryModel"]

@@ -1,0 +1,115 @@
+"""Functional (value-level) models of WARD semantics.
+
+These models track actual byte values to demonstrate the paper's central
+correctness claims independently of the timing simulator:
+
+* :class:`ReconciliationModel` — per-core write buffers merged sector-by-
+  sector in an arbitrary order.  For WARD-compliant access patterns
+  (no cross-thread RAW; WAWs resolvable in any order) the merged result
+  equals a sequentially consistent reference, **whatever** merge order the
+  directory picks (§5.2's "pick the value processed last" is safe).
+* :class:`WardMemoryModel` — a load/store interpreter with per-thread
+  incoherent views inside a region; used by property-based tests to show
+  that WARD-compliant programs cannot observe the incoherence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ReconciliationModel:
+    """Sector-merge semantics of §5.2/§6.1 over one cache block.
+
+    Each core's copy is ``(values, written_mask)`` where ``values`` is a
+    sequence of per-sector values and ``written_mask`` has bit *i* set when
+    the core wrote sector *i*.
+    """
+
+    def __init__(self, num_sectors: int, initial: Optional[Sequence] = None):
+        self.num_sectors = num_sectors
+        self.home: List = (
+            list(initial) if initial is not None else [0] * num_sectors
+        )
+        if len(self.home) != num_sectors:
+            raise ValueError("initial image has the wrong sector count")
+
+    def merge(self, copies: Sequence[Tuple[Sequence, int]]) -> List:
+        """Flush ``copies`` into the home image in the given order."""
+        for values, mask in copies:
+            if len(values) != self.num_sectors:
+                raise ValueError("copy has the wrong sector count")
+            for sector in range(self.num_sectors):
+                if mask & (1 << sector):
+                    self.home[sector] = values[sector]
+        return list(self.home)
+
+    @staticmethod
+    def is_false_sharing(copies: Sequence[Tuple[Sequence, int]]) -> bool:
+        """True when written sectors are pairwise disjoint (§5.2)."""
+        seen = 0
+        for _, mask in copies:
+            if mask & seen:
+                return False
+            seen |= mask
+        return len([m for _, m in copies if m]) > 1
+
+
+class WardMemoryModel:
+    """A value-level interpreter of WARD-region memory.
+
+    Inside a region each hardware thread sees its own incoherent copy of
+    the region's words (seeded from the global image at first touch).  At
+    ``end_region`` all per-thread writes are merged in an arbitrary caller-
+    chosen order.  Outside regions, memory is sequentially consistent.
+    """
+
+    def __init__(self) -> None:
+        self.memory: Dict[int, object] = {}
+        self._region: Optional[Tuple[int, int]] = None
+        #: per-thread private views: thread -> {addr: value}
+        self._views: Dict[int, Dict[int, object]] = {}
+        #: per-thread write sets: thread -> {addr: value}
+        self._writes: Dict[int, Dict[int, object]] = {}
+
+    # ------------------------------------------------------------------
+    def begin_region(self, start: int, end: int) -> None:
+        if self._region is not None:
+            raise RuntimeError("model supports one region at a time")
+        self._region = (start, end)
+        self._views = {}
+        self._writes = {}
+
+    def end_region(self, merge_order: Optional[Sequence[int]] = None) -> None:
+        if self._region is None:
+            raise RuntimeError("no active region")
+        threads = list(self._writes)
+        if merge_order is None:
+            merge_order = sorted(threads)
+        else:
+            if sorted(merge_order) != sorted(threads):
+                raise ValueError("merge_order must be a permutation of writers")
+        for thread in merge_order:
+            self.memory.update(self._writes[thread])
+        self._region = None
+        self._views = {}
+        self._writes = {}
+
+    def _in_region(self, addr: int) -> bool:
+        return self._region is not None and self._region[0] <= addr < self._region[1]
+
+    # ------------------------------------------------------------------
+    def store(self, thread: int, addr: int, value) -> None:
+        if self._in_region(addr):
+            self._views.setdefault(thread, {})[addr] = value
+            self._writes.setdefault(thread, {})[addr] = value
+        else:
+            self.memory[addr] = value
+
+    def load(self, thread: int, addr: int):
+        if self._in_region(addr):
+            view = self._views.setdefault(thread, {})
+            if addr not in view:
+                view[addr] = self.memory.get(addr, 0)
+            return view[addr]
+        return self.memory.get(addr, 0)

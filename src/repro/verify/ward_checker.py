@@ -1,0 +1,86 @@
+"""Dynamic WARD-property checker (paper §3.1).
+
+Attached as the runtime's ``access_monitor``, it watches every memory access
+and verifies condition 1 of the WARD definition for every active region: no
+read-after-write between distinct hardware threads at any covered address.
+WAW dependencies (condition 2) cannot be checked for "apathy" mechanically —
+they are *recorded* so tests can assert they only occur where the algorithm
+tolerates them (e.g. the prime sieve's constant stores).
+
+The checker works against either a live :class:`WARDenProtocol` region table
+(so regions added/removed by the runtime are tracked automatically) or its
+own region bookkeeping via :meth:`region_added` / :meth:`region_removed`
+(for trace-replay unit tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import WardViolationError
+from repro.common.types import AccessType
+from repro.coherence.regions import RegionTable
+
+
+class WardChecker:
+    """Monitors an access stream for WARD violations inside active regions."""
+
+    def __init__(
+        self,
+        region_table: Optional[RegionTable] = None,
+        raise_on_violation: bool = True,
+    ) -> None:
+        #: live region table (shared with a WARDenProtocol) or a private one
+        self.region_table = region_table if region_table is not None else RegionTable()
+        self.raise_on_violation = raise_on_violation
+        #: addr -> (writer_thread, region_id) for the current region epoch
+        self._writers: Dict[int, Tuple[int, int]] = {}
+        self.violations: List[WardViolationError] = []
+        #: cross-thread WAW events observed inside regions (condition 2)
+        self.waw_events = 0
+        self.checked_accesses = 0
+
+    # ------------------------------------------------------------------
+    # Region bookkeeping for standalone (trace-replay) use
+    # ------------------------------------------------------------------
+    def region_added(self, start: int, end: int):
+        return self.region_table.add(start, end)
+
+    def region_removed(self, region) -> None:
+        self.region_table.remove(region)
+
+    # ------------------------------------------------------------------
+    def on_access(
+        self,
+        thread: int,
+        addr: int,
+        size: int,
+        atype: AccessType,
+        clock: int = 0,
+    ) -> None:
+        """Runtime access-monitor entry point."""
+        self.checked_accesses += 1
+        region = self.region_table.lookup(addr)
+        if region is None:
+            return
+        rid = region.region_id
+        if atype is AccessType.LOAD:
+            entry = self._writers.get(addr)
+            if entry is not None:
+                writer, writer_rid = entry
+                if writer_rid == rid and writer != thread:
+                    violation = WardViolationError(addr, writer, thread)
+                    self.violations.append(violation)
+                    if self.raise_on_violation:
+                        raise violation
+            return
+        # Stores and atomics: record the writer; count cross-thread WAWs.
+        entry = self._writers.get(addr)
+        if entry is not None and entry[1] == rid and entry[0] != thread:
+            self.waw_events += 1
+        self._writers[addr] = (thread, rid)
+
+    # ------------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        return not self.violations

@@ -1,0 +1,40 @@
+"""Shared fixtures: small machines so protocol tests stay fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.sim.machine import Machine
+
+
+def tiny_config(num_sockets: int = 2, cores_per_socket: int = 2) -> MachineConfig:
+    """A small machine (tiny caches force evictions in protocol tests)."""
+    return MachineConfig(
+        name=f"tiny-{num_sockets}x{cores_per_socket}",
+        num_sockets=num_sockets,
+        cores_per_socket=cores_per_socket,
+        l1=CacheConfig(1024, 2, 64, latency=6),
+        l2=CacheConfig(4096, 4, 64, latency=16),
+        l3=CacheConfig(16384, 4, 64, latency=71),
+    )
+
+
+@pytest.fixture
+def config():
+    return tiny_config()
+
+
+@pytest.fixture
+def mesi(config):
+    return Machine(config, "mesi")
+
+
+@pytest.fixture
+def warden(config):
+    return Machine(config, "warden")
+
+
+@pytest.fixture(params=["mesi", "warden"])
+def machine(request, config):
+    return Machine(config, request.param)

@@ -1,0 +1,236 @@
+"""HLPL combinator tests: par, parallel_for, tabulate, reduce, filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hlpl.runtime import Runtime
+from repro.sim.machine import Machine
+from repro.sim.ops import ComputeOp
+from tests.conftest import tiny_config
+
+
+def run(root_fn, *args, protocol="mesi", **kwargs):
+    machine = Machine(tiny_config(), protocol)
+    rt = Runtime(machine)
+    result, stats = rt.run(root_fn, *args, **kwargs)
+    machine.protocol.check_invariants()
+    return result, stats
+
+
+class TestPar:
+    def test_two_way(self):
+        def leaf(value):
+            def body(ctx):
+                yield ComputeOp(1)
+                return value
+            return body
+
+        def root(ctx):
+            results = yield from ctx.par(leaf(1), leaf(2))
+            return results
+
+        result, _ = run(root)
+        assert result == [1, 2]
+
+    def test_results_in_thunk_order(self):
+        def root(ctx):
+            results = yield from ctx.par(
+                *[(lambda k: lambda c: c.value(k))(k) for k in range(6)]
+            )
+            return results
+
+        result, _ = run(root)
+        assert result == list(range(6))
+
+    def test_single_thunk_runs_inline(self):
+        def root(ctx):
+            results = yield from ctx.par(lambda c: c.value(9))
+            return results
+
+        result, stats = run(root)
+        assert result == [9]
+
+    def test_empty_par(self):
+        def root(ctx):
+            results = yield from ctx.par()
+            return results
+            yield  # pragma: no cover
+
+        result, _ = run(root)
+        assert result == []
+
+    def test_nested_forks(self):
+        def fib(ctx, n):
+            if n < 2:
+                yield ComputeOp(1)
+                return n
+            a, b = yield from ctx.par(
+                lambda c: fib(c, n - 1), lambda c: fib(c, n - 2)
+            )
+            return a + b
+
+        result, _ = run(fib, 10)
+        assert result == 55
+
+
+class TestParallelFor:
+    def test_covers_every_index(self):
+        def root(ctx):
+            arr = yield from ctx.alloc_array(40, fill=0)
+            def body(c, i):
+                yield from arr.set(i, i * 2)
+            yield from ctx.parallel_for(0, 40, body, grain=4)
+            return arr.to_list()
+
+        result, _ = run(root)
+        assert result == [i * 2 for i in range(40)]
+
+    def test_empty_range(self):
+        def root(ctx):
+            yield from ctx.parallel_for(5, 5, None, grain=4)
+            return "ok"
+
+        assert run(root)[0] == "ok"
+
+    def test_grain_bounds_sequential_chunk(self):
+        calls = []
+
+        def root(ctx):
+            def body(c, i):
+                calls.append(i)
+                yield ComputeOp(1)
+            yield from ctx.parallel_for(0, 10, body, grain=100)
+            return None
+
+        run(root)
+        assert calls == list(range(10))  # one sequential chunk, in order
+
+
+class TestTabulateMap:
+    def test_tabulate_values(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(32, lambda c, i: c.value(i * i), grain=4)
+            return arr.to_list()
+
+        result, _ = run(root)
+        assert result == [i * i for i in range(32)]
+
+    def test_map_array(self):
+        def root(ctx):
+            src = yield from ctx.tabulate(16, lambda c, i: c.value(i), grain=4)
+            out = yield from ctx.map_array(src, lambda v: v + 100, grain=4)
+            return out.to_list()
+
+        result, _ = run(root)
+        assert result == [i + 100 for i in range(16)]
+
+    def test_tabulate_zero_length(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(0, lambda c, i: c.value(i))
+            return arr.to_list()
+
+        assert run(root)[0] == []
+
+    def test_tabulate_marks_construct_region_under_warden(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(64, lambda c, i: c.value(1), grain=8)
+            return len(arr)
+
+        _, stats = run(root, protocol="warden")
+        assert stats.coherence.ward_region_adds > 0
+        assert stats.coherence.ward_region_removes == stats.coherence.ward_region_adds
+
+
+class TestReduce:
+    def test_sum(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(50, lambda c, i: c.value(i), grain=8)
+            total = yield from ctx.reduce(
+                0, 50, lambda c, i: arr.get(i), lambda a, b: a + b, grain=8
+            )
+            return total
+
+        assert run(root)[0] == sum(range(50))
+
+    def test_max(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(
+                20, lambda c, i: c.value((i * 7) % 13), grain=4
+            )
+            best = yield from ctx.reduce(
+                0, 20, lambda c, i: arr.get(i), max, grain=4
+            )
+            return best
+
+        assert run(root)[0] == max((i * 7) % 13 for i in range(20))
+
+    def test_empty_range_rejected(self):
+        def root(ctx):
+            yield from ctx.reduce(0, 0, None, None)
+
+        with pytest.raises(ValueError):
+            run(root)
+
+
+class TestFilter:
+    def test_keeps_order(self):
+        def root(ctx):
+            src = yield from ctx.tabulate(30, lambda c, i: c.value(i), grain=4)
+            out = yield from ctx.filter_array(src, lambda v: v % 3 == 0, grain=4)
+            return out.to_list()
+
+        assert run(root)[0] == [i for i in range(30) if i % 3 == 0]
+
+    def test_empty_source(self):
+        def root(ctx):
+            src = yield from ctx.alloc_array(0)
+            out = yield from ctx.filter_array(src, lambda v: True)
+            return out.to_list()
+
+        assert run(root)[0] == []
+
+    def test_nothing_passes(self):
+        def root(ctx):
+            src = yield from ctx.tabulate(10, lambda c, i: c.value(i), grain=4)
+            out = yield from ctx.filter_array(src, lambda v: False, grain=4)
+            return out.to_list()
+
+        assert run(root)[0] == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=60),
+    grain=st.integers(1, 16),
+)
+def test_reduce_matches_python_sum(values, grain):
+    def root(ctx):
+        src = yield from ctx.tabulate(
+            len(values), lambda c, i: c.value(values[i]), grain=grain
+        )
+        total = yield from ctx.reduce(
+            0, len(values), lambda c, i: src.get(i), lambda a, b: a + b,
+            grain=grain,
+        )
+        return total
+
+    result, _ = run(root)
+    assert result == sum(values)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 100), min_size=0, max_size=60),
+    grain=st.integers(1, 16),
+    threshold=st.integers(0, 100),
+)
+def test_filter_matches_python_filter(values, grain, threshold):
+    def root(ctx):
+        src = yield from ctx.alloc_array(len(values))
+        src.data[:] = values
+        out = yield from ctx.filter_array(src, lambda v: v >= threshold, grain=grain)
+        return out.to_list()
+
+    result, _ = run(root, protocol="warden")
+    assert result == [v for v in values if v >= threshold]

@@ -1,0 +1,98 @@
+"""SimArray tests (run against a real machine through a mini driver)."""
+
+import pytest
+
+from repro.hlpl.arrays import SimArray
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from tests.conftest import tiny_config
+
+
+def drive(gen):
+    """Run a generator on thread 0 of a fresh machine; return its value."""
+    machine = Machine(tiny_config(), "mesi")
+    engine = Engine(machine)
+    out = []
+    engine.pin(0, gen, on_done=lambda v, w: out.append(v))
+    engine.run()
+    return out[0], machine
+
+
+def arr_of(values, elem_size=8):
+    arr = SimArray(0x10000, len(values), elem_size, name="t")
+    arr.data[:] = values
+    return arr
+
+
+class TestGetSet:
+    def test_roundtrip(self):
+        arr = arr_of([None] * 4)
+
+        def body():
+            yield from arr.set(2, 99)
+            value = yield from arr.get(2)
+            return value
+
+        value, machine = drive(body())
+        assert value == 99
+        assert machine.cores[0].stats.loads == 1
+        assert machine.cores[0].stats.stores == 1
+
+    def test_addresses_are_element_strided(self):
+        arr = SimArray(0x10000, 8, elem_size=8)
+        assert arr.addr(0) == 0x10000
+        assert arr.addr(3) == 0x10000 + 24
+        assert arr.end == 0x10000 + 64
+
+    def test_small_elements(self):
+        arr = SimArray(0x10000, 100, elem_size=1)
+        assert arr.addr(64) == 0x10000 + 64
+
+    def test_bounds_checked(self):
+        arr = arr_of([1, 2, 3])
+        with pytest.raises(IndexError):
+            drive(arr.get(3))
+        with pytest.raises(IndexError):
+            drive(arr.set(-1, 0))
+
+    def test_bad_elem_size_rejected(self):
+        with pytest.raises(ValueError):
+            SimArray(0, 4, elem_size=3)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            SimArray(0, -1)
+
+
+class TestAtomics:
+    def test_cas_success(self):
+        arr = arr_of([5])
+
+        def body():
+            ok = yield from arr.cas(0, 5, 7)
+            return ok
+
+        ok, machine = drive(body())
+        assert ok and arr.peek(0) == 7
+        assert machine.cores[0].stats.rmws == 1
+
+    def test_cas_failure_leaves_value(self):
+        arr = arr_of([5])
+        ok, _ = drive(arr.cas(0, 4, 7))
+        assert not ok and arr.peek(0) == 5
+
+    def test_fetch_add(self):
+        arr = arr_of([10])
+        old, _ = drive(arr.fetch_add(0, 3))
+        assert old == 10 and arr.peek(0) == 13
+
+
+class TestHostSideAccess:
+    def test_peek_poke_do_not_simulate(self):
+        arr = arr_of([1, 2])
+        arr.poke(0, 9)
+        assert arr.peek(0) == 9
+        assert arr.to_list() == [9, 2]
+
+    def test_len(self):
+        assert len(arr_of([1, 2, 3])) == 3

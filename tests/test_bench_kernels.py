@@ -1,0 +1,159 @@
+"""Unit tests for benchmark kernel helpers and reference implementations."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import dedup, dmm, fib, grep, msort, nqueens, palindrome
+from repro.bench import primes, quickhull, ray, suffix_array, tokens
+from repro.bench.common import input_array
+from repro.hlpl.runtime import Runtime
+from repro.sim.machine import Machine
+from tests.conftest import tiny_config
+
+
+def run(root_fn, *args):
+    machine = Machine(tiny_config(), "warden")
+    result, _ = Runtime(machine).run(root_fn, *args)
+    return result
+
+
+class TestReferences:
+    def test_fib_sequence(self):
+        assert [fib.fib_seq(n) for n in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+
+    def test_primes_reference_known_values(self):
+        assert primes.reference(10) == 4   # 2 3 5 7
+        assert primes.reference(100) == 25
+        assert primes.reference(1) == 0
+
+    def test_nqueens_reference_known_values(self):
+        assert nqueens.reference(4) == 2
+        assert nqueens.reference(5) == 10
+        assert nqueens.reference(6) == 4
+
+    def test_grep_reference_overlapping_matches(self):
+        wl = {"text": "abcabca", "pattern": "abca"}
+        assert grep.reference(wl) == [0, 3]
+
+    def test_tokens_reference_double_spaces(self):
+        wl = {"text": "a  bb  c"}
+        count, offsets = tokens.reference(wl)
+        assert count == 3 and offsets == [0, 3, 7]
+
+    def test_palindrome_reference(self):
+        assert palindrome.reference({"text": "abacab"}) == 5  # "bacab"
+        assert palindrome.reference({"text": "aaaa"}) == 4
+
+    def test_dedup_reference(self):
+        assert dedup.reference([3, 1, 3, 2, 1]) == [1, 2, 3]
+
+    def test_suffix_array_reference(self):
+        assert suffix_array.reference("banana") == [5, 3, 1, 0, 4, 2]
+
+
+class TestQuickhullGeometry:
+    def test_cross_sign(self):
+        assert quickhull._cross((0, 0), (1, 0), (0, 1)) > 0   # left turn
+        assert quickhull._cross((0, 0), (1, 0), (0, -1)) < 0  # right turn
+        assert quickhull._cross((0, 0), (1, 0), (2, 0)) == 0  # collinear
+
+    def test_reference_square(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)]
+        assert quickhull.reference(pts) == [(0, 0), (0, 2), (2, 0), (2, 2)]
+
+    def test_reference_collinear_excluded(self):
+        pts = [(0, 0), (1, 0), (2, 0), (1, 1)]
+        assert quickhull.reference(pts) == [(0, 0), (1, 1), (2, 0)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+        min_size=3, max_size=40,
+    ))
+    def test_kernel_matches_reference_on_random_points(self, points):
+        points = list(set(points))
+        if len(points) < 3:
+            return
+
+        def root(ctx, pts_list):
+            arr = yield from input_array(ctx, pts_list, name="pts")
+            hull = yield from quickhull.quickhull_task(ctx, arr)
+            return sorted(hull)
+
+        assert run(root, points) == quickhull.reference(points)
+
+
+class TestRayGeometry:
+    def test_intersect_hit(self):
+        tri = ((-10, -10, 20), (10, -10, 20), (0, 10, 20))
+        t = ray._intersect((0, 0, 0), (0, 0, 1), tri)
+        assert t is not None and t > 0
+
+    def test_intersect_miss(self):
+        tri = ((100, 100, 20), (110, 100, 20), (100, 110, 20))
+        assert ray._intersect((0, 0, 0), (0, 0, 1), tri) is None
+
+    def test_intersect_behind_origin(self):
+        tri = ((-10, -10, -20), (10, -10, -20), (0, 10, -20))
+        assert ray._intersect((0, 0, 0), (0, 0, 1), tri) is None
+
+    def test_degenerate_triangle(self):
+        tri = ((0, 0, 5), (0, 0, 5), (0, 0, 5))
+        assert ray._intersect((0, 0, 0), (0, 0, 1), tri) is None
+
+
+class TestMsortKernel:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=150))
+    def test_sort_matches_sorted(self, values):
+        def root(ctx, vals):
+            src = yield from input_array(ctx, vals, name="in")
+            out = yield from msort.sort_task(ctx, src, 0, len(vals))
+            return out.to_list()
+
+        assert run(root, values) == sorted(values)
+
+    def test_sort_with_duplicates(self):
+        values = [5, 5, 5, 1, 1, 9] * 12
+
+        def root(ctx, vals):
+            src = yield from input_array(ctx, vals, name="in")
+            out = yield from msort.sort_task(ctx, src, 0, len(vals))
+            return out.to_list()
+
+        assert run(root, values) == sorted(values)
+
+
+class TestDmm:
+    def test_reference_identity(self):
+        n = 3
+        ident = [1 if i == j else 0 for i in range(n) for j in range(n)]
+        a = list(range(9))
+        out, checksum = dmm.reference({"n": n, "a": a, "b": ident})
+        assert out == a and checksum == sum(a)
+
+
+class TestWorkloadBuilders:
+    def test_grep_workload_has_matches(self):
+        wl = grep.BENCHMARK.workload("default")
+        assert grep.reference(wl), "default grep input should contain matches"
+
+    def test_dedup_workload_has_duplicates(self):
+        values = dedup.BENCHMARK.workload("default")
+        assert len(set(values)) < len(values)
+
+    def test_ray_workload_has_hits(self):
+        wl = ray.BENCHMARK.workload("default")
+        hits, _ = ray.reference(wl)
+        assert any(h >= 0 for h in hits)
+
+    def test_palindrome_workload_nontrivial(self):
+        wl = palindrome.BENCHMARK.workload("default")
+        assert palindrome.reference(wl) >= 3
+
+    def test_suffix_array_workload_sorts_uniquely(self):
+        text = suffix_array.BENCHMARK.workload("default")
+        sa = suffix_array.reference(text)
+        assert sorted(sa) == list(range(len(text)))

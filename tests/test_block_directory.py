@@ -1,0 +1,110 @@
+"""CacheBlock and Directory entry tests."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.types import CoherenceState
+from repro.coherence.directory import DirEntry, Directory
+from repro.mem.block import CacheBlock
+
+S = CoherenceState.SHARED
+E = CoherenceState.EXCLUSIVE
+M = CoherenceState.MODIFIED
+I = CoherenceState.INVALID
+W = CoherenceState.WARD
+
+
+class TestCacheBlock:
+    def test_defaults(self):
+        b = CacheBlock(0x40)
+        assert b.state is I and b.written_mask == 0 and not b.dirty
+
+    def test_written_mask_accumulates(self):
+        b = CacheBlock(0, S)
+        b.mark_written(0b0011)
+        b.mark_written(0b1100)
+        assert b.written_mask == 0b1111
+        assert b.dirty
+
+    def test_modified_state_is_dirty(self):
+        assert CacheBlock(0, M).dirty
+
+    def test_clear_written(self):
+        b = CacheBlock(0, S)
+        b.mark_written(0xFF)
+        b.clear_written()
+        assert b.written_mask == 0
+
+
+class TestDirEntry:
+    def test_owned_state_needs_owner(self):
+        e = DirEntry(0)
+        e.state = M
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_owner_with_foreign_sharers_rejected(self):
+        e = DirEntry(0)
+        e.state = E
+        e.owner = 1
+        e.sharers = {2}
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_shared_needs_sharers(self):
+        e = DirEntry(0)
+        e.state = S
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_shared_with_owner_rejected(self):
+        e = DirEntry(0)
+        e.state = S
+        e.sharers = {0}
+        e.owner = 0
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_invalid_with_copies_rejected(self):
+        e = DirEntry(0)
+        e.sharers = {1}
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_ward_with_owner_rejected(self):
+        e = DirEntry(0)
+        e.state = W
+        e.owner = 3
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_ward_with_any_sharers_ok(self):
+        e = DirEntry(0)
+        e.state = W
+        e.sharers = {0, 1, 2}
+        e.check_invariants()
+
+    def test_valid_states_pass(self):
+        e = DirEntry(0)
+        e.check_invariants()  # I
+        e.state = E
+        e.owner = 0
+        e.check_invariants()
+        e.state = S
+        e.owner = None
+        e.sharers = {0, 1}
+        e.check_invariants()
+
+
+class TestDirectory:
+    def test_entry_created_on_demand(self):
+        d = Directory(0)
+        assert len(d) == 0
+        e = d.entry(0x40)
+        assert len(d) == 1
+        assert d.entry(0x40) is e
+
+    def test_peek_does_not_create(self):
+        d = Directory(0)
+        assert d.peek(0x40) is None
+        assert len(d) == 0

@@ -1,0 +1,164 @@
+"""Unit + property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.common.types import CoherenceState
+from repro.mem.block import CacheBlock
+from repro.mem.cache import SetAssocCache
+
+S = CoherenceState.SHARED
+M = CoherenceState.MODIFIED
+I = CoherenceState.INVALID
+
+
+def small_cache(assoc=2, sets=4, on_evict=None):
+    cfg = CacheConfig(assoc * sets * 64, assoc, 64)
+    return SetAssocCache(cfg, "test", on_evict=on_evict)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(0) is None
+        c.install(0, S)
+        assert c.lookup(0) is not None
+        assert c.hits == 1 and c.misses == 1
+
+    def test_peek_does_not_count(self):
+        c = small_cache()
+        c.install(0, S)
+        c.peek(0)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_invalid_blocks_do_not_hit(self):
+        c = small_cache()
+        block = c.install(0, S)
+        block.state = I
+        assert c.lookup(0) is None
+
+    def test_set_mapping(self):
+        c = small_cache(assoc=2, sets=4)
+        assert c.set_index(0) == 0
+        assert c.set_index(64) == 1
+        assert c.set_index(256) == 0  # wraps after 4 sets
+
+    def test_contains(self):
+        c = small_cache()
+        c.install(128, S)
+        assert 128 in c
+        assert 0 not in c
+
+    def test_len_counts_valid_blocks(self):
+        c = small_cache()
+        c.install(0, S)
+        c.install(64, S)
+        assert len(c) == 2
+
+
+class TestLRU:
+    def test_eviction_is_lru(self):
+        evicted = []
+        c = small_cache(assoc=2, sets=1, on_evict=evicted.append)
+        c.install(0, S)
+        c.install(64, S)
+        c.lookup(0)  # refresh 0; 64 becomes LRU
+        c.install(128, S)
+        assert [b.addr for b in evicted] == [64]
+        assert 0 in c and 128 in c and 64 not in c
+
+    def test_install_refreshes_existing(self):
+        c = small_cache(assoc=2, sets=1)
+        c.install(0, S)
+        c.install(64, S)
+        c.install(0, M)  # refresh + state change
+        c.install(128, S)  # evicts 64, not 0
+        assert 0 in c and 64 not in c
+
+    def test_eviction_count(self):
+        c = small_cache(assoc=1, sets=1)
+        for i in range(4):
+            c.install(i * 64, S)
+        assert c.evictions == 3
+
+
+class TestInstallBlock:
+    def test_shares_state_object(self):
+        l1 = small_cache()
+        l2 = small_cache()
+        block = l2.install(0, S)
+        l1.install_block(block)
+        block.state = M
+        assert l1.peek(0).state is M  # same object
+
+    def test_install_block_evicts_lru(self):
+        evicted = []
+        c = small_cache(assoc=1, sets=1, on_evict=evicted.append)
+        c.install(0, S)
+        c.install_block(CacheBlock(64, S))
+        assert [b.addr for b in evicted] == [0]
+
+    def test_reinstall_same_addr(self):
+        c = small_cache()
+        a = c.install(0, S)
+        c.install_block(a)
+        assert len(c) == 1
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        c = small_cache()
+        c.install(0, S)
+        victim = c.invalidate(0)
+        assert victim is not None
+        assert 0 not in c
+
+    def test_invalidate_missing_returns_none(self):
+        c = small_cache()
+        assert c.invalidate(0) is None
+
+    def test_invalidate_does_not_call_hook(self):
+        evicted = []
+        c = small_cache(on_evict=evicted.append)
+        c.install(0, S)
+        c.invalidate(0)
+        assert evicted == []
+
+
+class TestHitRate:
+    def test_hit_rate(self):
+        c = small_cache()
+        c.install(0, S)
+        c.lookup(0)
+        c.lookup(64)
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_zero(self):
+        assert small_cache().hit_rate == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 31).map(lambda b: b * 64), min_size=1, max_size=120)
+)
+def test_cache_agrees_with_bounded_reference(addrs):
+    """Property: cache contents always equal the most-recently-used subset
+    of each set, per a simple reference model."""
+    assoc, sets = 2, 4
+    c = small_cache(assoc=assoc, sets=sets)
+    reference = {i: [] for i in range(sets)}  # per-set MRU list
+    for addr in addrs:
+        idx = (addr // 64) % sets
+        mru = reference[idx]
+        if c.lookup(addr) is None:
+            c.install(addr, S)
+        if addr in mru:
+            mru.remove(addr)
+        mru.append(addr)
+        del mru[:-assoc]
+    for idx, mru in reference.items():
+        for addr in mru:
+            assert c.peek(addr) is not None, f"{addr:#x} missing from set {idx}"
+    assert len(c) == sum(len(v) for v in reference.values())

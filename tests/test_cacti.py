@@ -1,0 +1,25 @@
+"""Area model tests against the paper's §6.1 claims."""
+
+from repro.common.config import dual_socket
+from repro.energy.cacti import region_cam_area_overhead, sectoring_area_overhead
+
+
+def test_sectoring_overhead_matches_paper():
+    # paper: byte sectoring on 64-byte blocks adds 7.9% cache area
+    assert abs(sectoring_area_overhead(64) - 0.079) < 0.005
+
+
+def test_sectoring_scales_with_block_size():
+    assert sectoring_area_overhead(128) > sectoring_area_overhead(64) * 0.9
+
+
+def test_region_cam_under_paper_bound():
+    # paper: 1024 simultaneous regions cost < 0.05% additional area
+    assert region_cam_area_overhead(dual_socket(), 1024) < 0.0005
+
+
+def test_region_cam_scales_with_entries():
+    cfg = dual_socket()
+    assert region_cam_area_overhead(cfg, 2048) == (
+        2 * region_cam_area_overhead(cfg, 1024)
+    )

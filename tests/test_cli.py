@@ -1,0 +1,43 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig8", "--size", "test"])
+        assert args.figure == "fig8" and args.size == "test"
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_run_benchmark_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+
+class TestCommands:
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "7.9%" in out and "0.05%" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--iterations", "40"]) == 0
+        assert "ping-pong" in capsys.readouterr().out
+
+    def test_run_single_benchmark(self, capsys):
+        assert main(["run", "fib", "--size", "test", "--protocol", "mesi"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "fib" in out

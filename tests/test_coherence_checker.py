@@ -1,0 +1,139 @@
+"""Value-level WARD semantics tests: any reconciliation merge order is
+correct for WARD-compliant programs (§5.2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.coherence_checker import ReconciliationModel, WardMemoryModel
+
+
+class TestReconciliationModel:
+    def test_false_sharing_merges_exactly(self):
+        model = ReconciliationModel(8, initial=[0] * 8)
+        copies = [
+            ([1, 1, 0, 0, 0, 0, 0, 0], 0b00000011),
+            ([0, 0, 2, 2, 0, 0, 0, 0], 0b00001100),
+        ]
+        merged = model.merge(copies)
+        assert merged == [1, 1, 2, 2, 0, 0, 0, 0]
+
+    def test_unwritten_sectors_keep_home_values(self):
+        model = ReconciliationModel(4, initial=[9, 9, 9, 9])
+        merged = model.merge([([5, 0, 0, 0], 0b0001)])
+        assert merged == [5, 9, 9, 9]
+
+    def test_false_sharing_is_order_independent(self):
+        copies = [
+            ([1, 0, 0, 0], 0b0001),
+            ([0, 2, 0, 0], 0b0010),
+            ([0, 0, 3, 0], 0b0100),
+        ]
+        outcomes = set()
+        for perm in itertools.permutations(copies):
+            model = ReconciliationModel(4)
+            outcomes.add(tuple(model.merge(perm)))
+        assert outcomes == {(1, 2, 3, 0)}
+
+    def test_apathetic_waw_same_value_order_independent(self):
+        # prime-sieve style: every writer stores the same value
+        copies = [([7, 0], 0b01), ([7, 0], 0b01)]
+        outcomes = {
+            tuple(ReconciliationModel(2).merge(perm))
+            for perm in itertools.permutations(copies)
+        }
+        assert outcomes == {(7, 0)}
+
+    def test_true_sharing_different_values_order_dependent(self):
+        # non-apathetic WAW: the hardware may pick either — exactly why the
+        # WARD definition requires apathy (§3.1 condition 2)
+        copies = [([1], 0b1), ([2], 0b1)]
+        outcomes = {
+            tuple(ReconciliationModel(1).merge(perm))
+            for perm in itertools.permutations(copies)
+        }
+        assert outcomes == {(1,), (2,)}
+
+    def test_false_sharing_classifier(self):
+        disjoint = [([0], 0b01), ([0], 0b10)]
+        overlap = [([0], 0b01), ([0], 0b01)]
+        assert ReconciliationModel.is_false_sharing(disjoint)
+        assert not ReconciliationModel.is_false_sharing(overlap)
+
+    def test_wrong_sector_count_rejected(self):
+        with pytest.raises(ValueError):
+            ReconciliationModel(2, initial=[0])
+        with pytest.raises(ValueError):
+            ReconciliationModel(2).merge([([0], 0b1)])
+
+
+class TestWardMemoryModel:
+    def test_sequential_consistency_outside_regions(self):
+        m = WardMemoryModel()
+        m.store(0, 100, "x")
+        assert m.load(1, 100) == "x"
+
+    def test_incoherent_views_inside_region(self):
+        m = WardMemoryModel()
+        m.store(0, 100, "old")
+        m.begin_region(64, 256)
+        m.store(0, 100, "new")
+        assert m.load(0, 100) == "new"   # own write visible
+        assert m.load(1, 100) == "old"   # other thread: stale (allowed!)
+        m.end_region()
+        assert m.load(1, 100) == "new"
+
+    def test_first_touch_seeds_from_global(self):
+        m = WardMemoryModel()
+        m.store(0, 100, 5)
+        m.begin_region(0, 256)
+        assert m.load(2, 100) == 5
+
+    def test_one_region_at_a_time(self):
+        m = WardMemoryModel()
+        m.begin_region(0, 64)
+        with pytest.raises(RuntimeError):
+            m.begin_region(64, 128)
+
+    def test_merge_order_must_be_permutation(self):
+        m = WardMemoryModel()
+        m.begin_region(0, 64)
+        m.store(0, 8, 1)
+        with pytest.raises(ValueError):
+            m.end_region(merge_order=[0, 1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 15)),  # (thread, slot)
+        min_size=1,
+        max_size=30,
+    ),
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_ward_compliant_program_is_merge_order_independent(writes, order_seed):
+    """Property: if each slot is written by at most one thread (no
+    cross-thread WAW) and nobody reads others' writes, the final memory is
+    the same for every merge order — the heart of the WARD guarantee."""
+    # assign each slot to exactly one owning thread to satisfy WARD
+    slot_owner = {}
+    ward_writes = []
+    for thread, slot in writes:
+        owner = slot_owner.setdefault(slot, thread)
+        ward_writes.append((owner, slot))
+
+    def run(order):
+        m = WardMemoryModel()
+        m.begin_region(0, 16 * 8)
+        for seq, (thread, slot) in enumerate(ward_writes):
+            m.store(thread, slot * 8, (thread, slot, seq))
+        threads = sorted({t for t, _ in ward_writes})
+        order_list = list(threads)
+        order_seed.shuffle(order_list) if order == "shuffled" else None
+        m.end_region(merge_order=order_list)
+        return dict(m.memory)
+
+    assert run("sorted") == run("shuffled")

@@ -1,0 +1,118 @@
+"""Unit tests for machine configuration and presets."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    EnergyConfig,
+    MachineConfig,
+    disaggregated,
+    dual_socket,
+    single_socket,
+    validation_machine,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(32 * 1024, 8, 64)
+        assert cfg.num_sets == 64
+
+    def test_validate_ok(self):
+        CacheConfig(1024, 2, 64).validate()
+
+    def test_validate_bad_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 3, 64).validate()
+
+    def test_validate_bad_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1024, 2, 64, latency=0).validate()
+
+
+class TestPresets:
+    def test_single_socket(self):
+        cfg = single_socket()
+        assert cfg.num_sockets == 1
+        assert cfg.cores_per_socket == 12
+        assert cfg.num_cores == 12
+
+    def test_dual_socket_matches_table2(self):
+        cfg = dual_socket()
+        assert cfg.num_sockets == 2
+        assert cfg.l1.size_bytes == 32 * 1024
+        assert cfg.l2.size_bytes == 256 * 1024
+        assert cfg.l3.size_bytes == 2560 * 1024
+        assert (cfg.l1.latency, cfg.l2.latency, cfg.l3.latency) == (6, 16, 71)
+        assert cfg.l1.associativity == 8
+        assert cfg.l3.associativity == 20
+        assert cfg.block_size == 64
+        assert not cfg.disaggregated
+
+    def test_disaggregated_remote_latency_is_1us(self):
+        cfg = disaggregated()
+        assert cfg.disaggregated
+        # 1 us at 3.3 GHz
+        assert cfg.remote_link_latency == 3300
+        assert cfg.cross_socket_latency() == 3300
+
+    def test_dual_socket_cross_latency_uses_upi(self):
+        cfg = dual_socket()
+        assert cfg.cross_socket_latency() == cfg.socket_link_latency
+
+    def test_validation_same_core_shares_a_core(self):
+        cfg = validation_machine(same_core=True)
+        assert cfg.num_cores == 1
+        assert cfg.num_threads == 2
+        assert cfg.core_of_thread(0) == cfg.core_of_thread(1) == 0
+
+    def test_validation_cross_core(self):
+        cfg = validation_machine(same_core=False)
+        assert cfg.core_of_thread(0) != cfg.core_of_thread(1)
+
+
+class TestTopology:
+    def test_socket_of_core(self):
+        cfg = dual_socket()
+        assert cfg.socket_of_core(0) == 0
+        assert cfg.socket_of_core(11) == 0
+        assert cfg.socket_of_core(12) == 1
+        assert cfg.socket_of_core(23) == 1
+
+    def test_home_socket_interleaves(self):
+        cfg = dual_socket()
+        homes = {cfg.home_socket(block * 64) for block in range(8)}
+        assert homes == {0, 1}
+
+    def test_single_socket_home_always_zero(self):
+        cfg = single_socket()
+        assert all(cfg.home_socket(b * 64) == 0 for b in range(16))
+
+    def test_replace_returns_new_config(self):
+        cfg = dual_socket()
+        other = cfg.replace(cores_per_socket=4)
+        assert other.cores_per_socket == 4
+        assert cfg.cores_per_socket == 12
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_sockets=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(threads_per_core=0)
+
+    def test_mismatched_block_size_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(l1=CacheConfig(1024, 2, 32, latency=4))
+
+
+class TestEnergyConfig:
+    def test_static_energy_per_cycle(self):
+        e = EnergyConfig(core_static_w_per_core=0.55, frequency_ghz=3.3)
+        per_cycle = e.static_nj_per_cycle_per_core()
+        # 0.55 W / 3.3e9 Hz = 1.67e-10 J = 0.167 nJ per cycle
+        assert per_cycle == pytest.approx(0.1667, rel=1e-3)
+
+    def test_data_messages_cost_more_flits(self):
+        e = EnergyConfig()
+        assert e.data_flits > e.ctrl_flits

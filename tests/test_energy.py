@@ -1,0 +1,98 @@
+"""Energy model tests (McPAT substitute)."""
+
+import pytest
+
+from repro.common.config import disaggregated, dual_socket
+from repro.common.stats import RunStats
+from repro.common.types import MessageType
+from repro.energy.model import EnergyModel, percent_savings
+
+
+def stats_with(cycles=1000, instrs=0, msgs=(), l3=0, dram=0, threads=24):
+    s = RunStats(num_threads=threads)
+    s.cycles = cycles
+    s.cores.compute_instrs = instrs
+    for mtype, link, n in msgs:
+        s.coherence.count_message(mtype, link, n)
+    s.coherence.l3_accesses = l3
+    s.coherence.dram_accesses = dram
+    return s
+
+
+class TestComponents:
+    def test_static_energy_scales_with_cycles_and_cores(self):
+        cfg = dual_socket()
+        model = EnergyModel(cfg)
+        e1 = model.compute(stats_with(cycles=1000))
+        e2 = model.compute(stats_with(cycles=2000))
+        assert e2.core_static_nj == pytest.approx(2 * e1.core_static_nj)
+
+    def test_core_dynamic_scales_with_instructions(self):
+        model = EnergyModel(dual_socket())
+        e = model.compute(stats_with(instrs=100))
+        assert e.core_dynamic_nj == pytest.approx(
+            100 * dual_socket().energy.core_dynamic_per_instr_nj
+        )
+
+    def test_dram_energy(self):
+        model = EnergyModel(dual_socket())
+        e = model.compute(stats_with(dram=10))
+        assert e.dram_nj == pytest.approx(10 * dual_socket().energy.dram_access_nj)
+
+    def test_local_messages_are_free(self):
+        model = EnergyModel(dual_socket())
+        e = model.compute(stats_with(msgs=[(MessageType.DATA, "local", 100)]))
+        assert e.network_nj == 0.0
+
+    def test_data_messages_cost_more_than_control(self):
+        model = EnergyModel(dual_socket())
+        data = model.compute(stats_with(msgs=[(MessageType.DATA, "intra", 10)]))
+        ctrl = model.compute(stats_with(msgs=[(MessageType.INV, "intra", 10)]))
+        assert data.network_nj > ctrl.network_nj
+
+    def test_cross_socket_costs_more_than_intra(self):
+        model = EnergyModel(dual_socket())
+        far = model.compute(stats_with(msgs=[(MessageType.DATA, "socket", 10)]))
+        near = model.compute(stats_with(msgs=[(MessageType.DATA, "intra", 10)]))
+        assert far.network_nj > near.network_nj
+
+    def test_disaggregated_links_cost_most(self):
+        upi = EnergyModel(dual_socket()).compute(
+            stats_with(msgs=[(MessageType.DATA, "socket", 10)])
+        )
+        remote = EnergyModel(disaggregated()).compute(
+            stats_with(msgs=[(MessageType.DATA, "socket", 10)])
+        )
+        assert remote.network_nj > upi.network_nj
+
+    def test_unknown_link_rejected(self):
+        model = EnergyModel(dual_socket())
+        with pytest.raises(ValueError):
+            model.compute(stats_with(msgs=[(MessageType.DATA, "warp", 1)]))
+
+
+class TestTotals:
+    def test_processor_energy_is_sum(self):
+        model = EnergyModel(dual_socket())
+        s = stats_with(instrs=50, msgs=[(MessageType.DATA, "intra", 5)], dram=2, l3=3)
+        e = model.compute(s)
+        assert e.processor_nj == pytest.approx(
+            e.cache_nj + e.dram_nj + e.network_nj + e.core_dynamic_nj + e.core_static_nj
+        )
+
+    def test_compute_fills_stats_object(self):
+        model = EnergyModel(dual_socket())
+        s = stats_with()
+        model.compute(s)
+        assert s.energy.processor_nj > 0
+
+
+class TestPercentSavings:
+    def test_basic(self):
+        assert percent_savings(100.0, 80.0) == pytest.approx(20.0)
+
+    def test_negative_when_worse(self):
+        assert percent_savings(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        assert percent_savings(0.0, 50.0) == 0.0

@@ -1,0 +1,132 @@
+"""Engine tests: pinned strands, min-clock ordering, completion handling."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import AccessType
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.ops import ComputeOp, ForkOp, LoadOp, StoreOp
+from tests.conftest import tiny_config
+
+
+@pytest.fixture
+def machine():
+    return Machine(tiny_config(), "mesi")
+
+
+@pytest.fixture
+def engine(machine):
+    return Engine(machine)
+
+
+class TestPinnedMode:
+    def test_runs_to_completion(self, engine, machine):
+        def kern():
+            yield ComputeOp(10)
+            yield ComputeOp(5)
+
+        engine.pin(0, kern())
+        engine.run()
+        assert machine.cores[0].clock == 15
+
+    def test_collects_return_value(self, engine):
+        results = []
+
+        def kern():
+            yield ComputeOp(1)
+            return 42
+
+        engine.pin(0, kern(), on_done=lambda v, w: results.append(v))
+        engine.run()
+        assert results == [42]
+
+    def test_double_pin_rejected(self, engine):
+        engine.pin(0, iter(()))
+        with pytest.raises(SimulationError):
+            engine.pin(0, iter(()))
+
+    def test_min_clock_interleaving(self, engine, machine):
+        order = []
+
+        def kern(tag, cost):
+            for _ in range(3):
+                order.append((tag, machine.cores[0 if tag == "a" else 1].clock))
+                yield ComputeOp(cost)
+
+        engine.pin(0, kern("a", 10))
+        engine.pin(1, kern("b", 100))
+        engine.run()
+        # thread a (cheap ops) runs several steps while b's clock is ahead
+        clocks = [c for _, c in order]
+        assert sorted(clocks) == clocks  # global time order never reverses
+
+    def test_memory_ops_return_latency(self, engine, machine):
+        seen = []
+
+        def kern():
+            a = machine.sbrk(64)
+            lat = yield LoadOp(a, 8)
+            seen.append(lat)
+            lat = yield StoreOp(a, 8)
+            seen.append(lat)
+
+        engine.pin(0, kern())
+        engine.run()
+        assert seen[0] > machine.config.l1.latency  # cold miss
+        assert seen[1] == machine.config.l1.latency  # hit after the load
+
+
+class TestGuards:
+    def test_max_steps_guard(self, engine):
+        def forever():
+            while True:
+                yield ComputeOp(1)
+
+        engine.pin(0, forever())
+        engine.max_steps = 100
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_fork_without_handler_rejected(self, engine):
+        def kern():
+            yield ForkOp(None, [])
+
+        engine.pin(0, kern())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_unknown_op_rejected(self, engine):
+        def kern():
+            yield "bogus"
+
+        engine.pin(0, kern())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestHooks:
+    def test_access_hook_sees_every_memory_op(self, engine, machine):
+        seen = []
+        engine.access_hook = lambda w, op, atype: seen.append(atype)
+
+        def kern():
+            a = machine.sbrk(64)
+            yield LoadOp(a, 8)
+            yield StoreOp(a, 8)
+            yield ComputeOp(1)
+
+        engine.pin(0, kern())
+        engine.run()
+        assert seen == [AccessType.LOAD, AccessType.STORE]
+
+    def test_current_worker_tracked(self, engine, machine):
+        observed = []
+
+        def kern():
+            observed.append(engine.current_worker.thread)
+            yield ComputeOp(1)
+
+        engine.pin(2, kern())
+        engine.run()
+        assert observed == [2]

@@ -1,0 +1,120 @@
+"""End-to-end failure injection.
+
+These tests run *misbehaving* programs through the full stack (runtime +
+scheduler + protocol) and check that the right guard fires — or that the
+system degrades safely when a hardware resource is exhausted.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError, WardViolationError
+from repro.hlpl.runtime import Runtime
+from repro.sim.machine import Machine
+from repro.sim.ops import ComputeOp
+from repro.verify.ward_checker import WardChecker
+from tests.conftest import tiny_config
+
+
+class TestWardViolationEndToEnd:
+    def test_cross_thread_raw_inside_write_phase_is_caught(self):
+        """A kernel that READS another task's write inside a ward phase is
+        not WARD; the dynamic checker must catch it through the runtime.
+        (Disentanglement does NOT fire here — the array belongs to a common
+        ancestor, which is legal; only the WARD condition is violated.)"""
+
+        def root(ctx, n):
+            arr = yield from ctx.alloc_array(n, fill=0, name="shared")
+            phase = ctx.ward_begin(arr)
+
+            def body(c, i):
+                yield from arr.set(i, i)
+                yield ComputeOp(50)
+                # read the *neighbour's* slot: cross-thread RAW on a live
+                # WARD region
+                value = yield from arr.get((i + 1) % n)
+                return value
+
+            yield from ctx.parallel_for(0, n, body, grain=1)
+            ctx.ward_end(phase)
+            return None
+
+        machine = Machine(tiny_config(), "warden")
+        checker = WardChecker(region_table=machine.protocol.region_table)
+        rt = Runtime(machine, access_monitor=checker)
+        with pytest.raises(WardViolationError):
+            rt.run(root, 8)
+
+    def test_same_program_is_silent_without_the_racy_read(self):
+        def root(ctx, n):
+            arr = yield from ctx.alloc_array(n, fill=0, name="shared")
+            phase = ctx.ward_begin(arr)
+
+            def body(c, i):
+                yield from arr.set(i, i)
+                value = yield from arr.get(i)  # own slot: same-thread RAW, fine
+                return value
+
+            yield from ctx.parallel_for(0, n, body, grain=1)
+            ctx.ward_end(phase)
+            return "clean"
+
+        machine = Machine(tiny_config(), "warden")
+        checker = WardChecker(region_table=machine.protocol.region_table)
+        rt = Runtime(machine, access_monitor=checker)
+        result, _ = rt.run(root, 8)
+        assert result == "clean" and checker.clean
+
+
+class TestResourceExhaustion:
+    def test_region_cam_overflow_degrades_gracefully(self):
+        """With a 2-entry region CAM the runtime's marking mostly fails —
+        and everything must still compute correctly (rejected regions just
+        stay under MESI)."""
+        cfg = tiny_config().replace(max_ward_regions=2)
+
+        def root(ctx, n):
+            arr = yield from ctx.tabulate(n, lambda c, i: c.value(i * 3), grain=8)
+            total = yield from ctx.reduce(
+                0, n, lambda c, i: arr.get(i), lambda a, b: a + b, grain=8
+            )
+            return total
+
+        machine = Machine(cfg, "warden")
+        result, stats = Runtime(machine).run(root, 128)
+        assert result == sum(i * 3 for i in range(128))
+        assert machine.protocol.region_table.rejected_adds > 0
+        machine.protocol.check_invariants()
+
+    def test_runaway_program_hits_step_guard(self):
+        def root(ctx):
+            while True:
+                yield ComputeOp(1)
+
+        machine = Machine(tiny_config(), "mesi")
+        rt = Runtime(machine, max_steps=500)
+        with pytest.raises(SimulationError):
+            rt.run(root)
+
+
+class TestKernelExceptionsPropagate:
+    def test_python_error_in_task_body_surfaces(self):
+        def root(ctx):
+            def bad(c):
+                yield ComputeOp(1)
+                raise RuntimeError("kernel bug")
+
+            yield from ctx.par(bad, lambda c: c.value(1))
+            return None
+
+        machine = Machine(tiny_config(), "mesi")
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            Runtime(machine).run(root)
+
+    def test_out_of_bounds_surfaces(self):
+        def root(ctx):
+            arr = yield from ctx.alloc_array(4, fill=0)
+            yield from arr.get(99)
+
+        machine = Machine(tiny_config(), "mesi")
+        with pytest.raises(IndexError):
+            Runtime(machine).run(root)

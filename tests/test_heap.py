@@ -1,0 +1,120 @@
+"""Heap hierarchy tests: bump allocation, pages, merges (paper Fig. 2)."""
+
+import pytest
+
+from repro.hlpl.heap import ALLOC_INSTRS, PAGE_ALLOC_INSTRS, PAGE_SIZE, Heap
+from repro.hlpl.task import TaskNode
+
+
+def make_sbrk():
+    state = {"brk": 0x10000}
+
+    def sbrk(nbytes, align=64):
+        state["brk"] = (state["brk"] + align - 1) // align * align
+        base = state["brk"]
+        state["brk"] += nbytes
+        return base
+
+    return sbrk
+
+
+@pytest.fixture
+def heap():
+    return Heap(TaskNode(None))
+
+
+class TestBumpAllocation:
+    def test_first_alloc_maps_a_page(self, heap):
+        addr, page, cost = heap.alloc(16, make_sbrk())
+        assert page is not None
+        assert page.size == PAGE_SIZE
+        assert addr == page.base
+        assert cost == ALLOC_INSTRS + PAGE_ALLOC_INSTRS
+
+    def test_bump_within_page(self, heap):
+        sbrk = make_sbrk()
+        a, _, _ = heap.alloc(16, sbrk)
+        b, page, cost = heap.alloc(16, sbrk)
+        assert page is None
+        assert b == a + 16
+        assert cost == ALLOC_INSTRS
+
+    def test_alignment(self, heap):
+        sbrk = make_sbrk()
+        heap.alloc(10, sbrk)
+        addr, _, _ = heap.alloc(8, sbrk, align=8)
+        assert addr % 8 == 0
+
+    def test_new_page_when_full(self, heap):
+        sbrk = make_sbrk()
+        heap.alloc(PAGE_SIZE - 8, sbrk)
+        _, page, _ = heap.alloc(64, sbrk)
+        assert page is not None
+        assert len(heap.pages) == 2
+
+    def test_large_object_gets_dedicated_pages(self, heap):
+        addr, page, _ = heap.alloc(3 * PAGE_SIZE + 5, make_sbrk())
+        assert page.size == 4 * PAGE_SIZE
+        assert addr == page.base
+
+    def test_large_object_does_not_disturb_bump(self, heap):
+        sbrk = make_sbrk()
+        a, _, _ = heap.alloc(16, sbrk)
+        heap.alloc(2 * PAGE_SIZE, sbrk)
+        b, page, _ = heap.alloc(16, sbrk)
+        assert page is None
+        assert b == a + 16
+
+    def test_zero_alloc_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.alloc(0, make_sbrk())
+
+
+class TestMerge:
+    def test_pages_move_to_parent(self):
+        sbrk = make_sbrk()
+        parent_task = TaskNode(None)
+        parent = Heap(parent_task)
+        child = Heap(TaskNode(parent_task))
+        child.alloc(16, sbrk)
+        child.merge_into(parent)
+        assert len(parent.pages) == 1
+        assert child.pages == []
+
+    def test_live_owner_follows_merges(self):
+        sbrk = make_sbrk()
+        root_task = TaskNode(None)
+        mid_task = TaskNode(root_task)
+        root, mid, leaf = Heap(root_task), Heap(mid_task), Heap(TaskNode(mid_task))
+        leaf.alloc(16, sbrk)
+        leaf.merge_into(mid)
+        mid.merge_into(root)
+        assert leaf.live_owner is root_task
+        assert leaf.find() is root
+
+    def test_alloc_into_merged_heap_rejected(self):
+        parent = Heap(TaskNode(None))
+        child = Heap(TaskNode(None))
+        child.merge_into(parent)
+        with pytest.raises(RuntimeError):
+            child.alloc(8, make_sbrk())
+
+    def test_merge_into_self_rejected(self, heap):
+        with pytest.raises(RuntimeError):
+            heap.merge_into(heap)
+
+    def test_merge_chain_targets_root(self):
+        a, b, c = (Heap(TaskNode(None)) for _ in range(3))
+        b.merge_into(a)
+        c.merge_into(b)  # resolves through find() to a
+        assert c.find() is a
+
+
+class TestMarkedPages:
+    def test_marked_pages_filter(self, heap):
+        sbrk = make_sbrk()
+        heap.alloc(16, sbrk)
+        heap.alloc(PAGE_SIZE, sbrk)
+        assert heap.marked_pages() == []
+        heap.pages[0].region = object()
+        assert heap.marked_pages() == [heap.pages[0]]

@@ -1,0 +1,60 @@
+"""Interconnect model tests."""
+
+import pytest
+
+from repro.common.config import disaggregated, dual_socket
+from repro.common.stats import CoherenceStats
+from repro.common.types import MessageType
+from repro.mem.interconnect import Interconnect, LinkClass
+
+
+@pytest.fixture
+def noc():
+    return Interconnect(dual_socket(), CoherenceStats())
+
+
+class TestLinkClassification:
+    def test_same_core_is_local(self, noc):
+        assert noc.link_between_cores(3, 3) is LinkClass.LOCAL
+
+    def test_same_socket_is_intra(self, noc):
+        assert noc.link_between_cores(0, 11) is LinkClass.INTRA
+
+    def test_cross_socket(self, noc):
+        assert noc.link_between_cores(0, 12) is LinkClass.SOCKET
+
+    def test_core_to_socket(self, noc):
+        assert noc.link_core_to_socket(0, 0) is LinkClass.INTRA
+        assert noc.link_core_to_socket(0, 1) is LinkClass.SOCKET
+
+
+class TestLatency:
+    def test_local_is_free(self, noc):
+        assert noc.latency(LinkClass.LOCAL) == 0
+
+    def test_intra_vs_socket(self, noc):
+        assert noc.latency(LinkClass.SOCKET) > noc.latency(LinkClass.INTRA) > 0
+
+    def test_disaggregated_uses_remote_link(self):
+        cfg = disaggregated()
+        noc = Interconnect(cfg, CoherenceStats())
+        assert noc.latency(LinkClass.SOCKET) == cfg.remote_link_latency
+
+    def test_memory_link_is_dram(self, noc):
+        assert noc.latency(LinkClass.MEMORY) == dual_socket().dram_latency
+
+
+class TestTrafficAccounting:
+    def test_send_records_and_returns_latency(self, noc):
+        lat = noc.send(MessageType.GET_S, LinkClass.INTRA)
+        assert lat == noc.latency(LinkClass.INTRA)
+        assert noc.stats.messages[(MessageType.GET_S, "intra")] == 1
+
+    def test_send_count(self, noc):
+        noc.send(MessageType.INV, LinkClass.SOCKET, count=5)
+        assert noc.stats.messages[(MessageType.INV, "socket")] == 5
+
+    def test_core_to_core_message(self, noc):
+        lat = noc.core_to_core(0, 13, MessageType.DATA)
+        assert lat == noc.latency(LinkClass.SOCKET)
+        assert noc.stats.total_messages == 1

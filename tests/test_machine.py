@@ -1,0 +1,114 @@
+"""Machine facade tests: allocation, access dispatch, finalize, WARD API."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import AccessType
+from repro.sim.machine import Machine
+from tests.conftest import tiny_config
+
+
+class TestConstruction:
+    def test_protocol_by_name(self):
+        assert Machine(tiny_config(), "mesi").protocol.name == "MESI"
+        assert Machine(tiny_config(), "WARDEN").protocol.name == "WARDen"
+
+    def test_protocol_by_class(self):
+        from repro.coherence.warden import WARDenProtocol
+
+        m = Machine(tiny_config(), WARDenProtocol)
+        assert m.supports_ward
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            Machine(tiny_config(), "moesi")
+
+    def test_one_core_model_per_thread(self):
+        cfg = tiny_config().replace(threads_per_core=2)
+        m = Machine(cfg, "mesi")
+        assert len(m.cores) == cfg.num_threads
+
+
+class TestSbrk:
+    def test_block_aligned_by_default(self, mesi):
+        a = mesi.sbrk(10)
+        b = mesi.sbrk(10)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b > a
+
+    def test_custom_alignment(self, mesi):
+        a = mesi.sbrk(8, 4096)
+        assert a % 4096 == 0
+
+    def test_rejects_nonpositive(self, mesi):
+        with pytest.raises(ValueError):
+            mesi.sbrk(0)
+
+
+class TestAccessDispatch:
+    def test_load_advances_issuing_thread_only(self, mesi):
+        a = mesi.sbrk(64)
+        mesi.access(1, a, 8, AccessType.LOAD)
+        assert mesi.cores[1].clock > 0
+        assert mesi.cores[0].clock == 0
+
+    def test_store_is_buffered(self, mesi):
+        a = mesi.sbrk(64)
+        mesi.access(0, a, 8, AccessType.STORE)
+        assert mesi.cores[0].clock == 1
+
+    def test_rmw_blocks(self, mesi):
+        a = mesi.sbrk(64)
+        mesi.access(0, a, 8, AccessType.RMW)
+        assert mesi.cores[0].clock > 100
+
+    def test_smt_threads_share_private_cache(self):
+        cfg = tiny_config(num_sockets=1, cores_per_socket=1).replace(
+            threads_per_core=2
+        )
+        m = Machine(cfg, "mesi")
+        a = m.sbrk(64)
+        m.access(0, a, 8, AccessType.LOAD)
+        lat = m.access(1, a, 8, AccessType.LOAD)  # sibling hyperthread
+        assert lat == cfg.l1.latency
+
+
+class TestWardApi:
+    def test_region_instruction_charged(self, warden):
+        a = warden.sbrk(4096, 4096)
+        region = warden.add_ward_region(2, a, a + 4096)
+        assert region is not None
+        assert warden.cores[2].stats.compute_instrs == 1
+        warden.remove_ward_region(2, region)
+        assert warden.cores[2].stats.compute_instrs == 2
+
+    def test_mesi_machine_ignores_regions(self, mesi):
+        a = mesi.sbrk(4096, 4096)
+        assert mesi.add_ward_region(0, a, a + 4096) is None
+        assert mesi.cores[0].stats.compute_instrs == 0
+
+
+class TestFinalize:
+    def test_finalize_aggregates_cores(self, mesi):
+        a = mesi.sbrk(64)
+        mesi.access(0, a, 8, AccessType.LOAD)
+        mesi.access(1, a + 64, 8, AccessType.LOAD)
+        stats = mesi.finalize()
+        assert stats.cores.loads == 2
+        assert stats.cycles == max(c.clock for c in mesi.cores)
+
+    def test_finalize_with_makespan(self, mesi):
+        stats = mesi.finalize(makespan=1234)
+        assert stats.cycles == 1234
+
+    def test_finalize_collects_cache_accesses(self, mesi):
+        a = mesi.sbrk(64)
+        mesi.access(0, a, 8, AccessType.LOAD)
+        stats = mesi.finalize()
+        assert stats.coherence.l1_accesses >= 1
+        assert stats.coherence.l2_accesses >= 1
+
+    def test_numa_placement_changes_home(self, mesi):
+        a = mesi.sbrk(64, 64)
+        mesi.place(a, 64, thread=mesi.config.cores_per_socket)  # socket 1
+        assert mesi.protocol.home(a) == 1

@@ -1,0 +1,201 @@
+"""MESI protocol transition tests (paper Fig. 5, baseline portion)."""
+
+import pytest
+
+from repro.common.types import AccessType, CoherenceState
+from tests.conftest import tiny_config
+
+from repro.sim.machine import Machine
+
+LOAD = AccessType.LOAD
+STORE = AccessType.STORE
+RMW = AccessType.RMW
+S = CoherenceState.SHARED
+E = CoherenceState.EXCLUSIVE
+M = CoherenceState.MODIFIED
+I = CoherenceState.INVALID
+
+
+@pytest.fixture
+def m():
+    return Machine(tiny_config(), "mesi")
+
+
+def priv(machine, core, addr):
+    return machine.protocol.private_block(core, addr)
+
+
+def entry(machine, addr):
+    return machine.protocol.dir_entry(addr)
+
+
+class TestColdMisses:
+    def test_load_miss_grants_exclusive(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        assert priv(m, 0, a).state is E
+        e = entry(m, a)
+        assert e.state is E and e.owner == 0
+
+    def test_store_miss_grants_modified(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, STORE)
+        assert priv(m, 0, a).state is M
+        assert entry(m, a).state is M
+
+    def test_cold_miss_goes_to_dram(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        assert m.run_stats.coherence.dram_accesses == 1
+
+    def test_second_access_hits(self, m):
+        a = m.sbrk(64)
+        lat1 = m.access(0, a, 8, LOAD)
+        lat2 = m.access(0, a, 8, LOAD)
+        assert lat2 < lat1
+        assert lat2 == m.config.l1.latency
+
+    def test_store_tracks_written_sectors(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, STORE)
+        m.access(0, a + 16, 8, STORE)
+        assert priv(m, 0, a).written_mask == (0xFF | (0xFF << 16))
+
+
+class TestSilentUpgrade:
+    def test_e_to_m_is_silent(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        msgs_before = m.run_stats.coherence.total_messages
+        m.access(0, a, 8, STORE)
+        assert priv(m, 0, a).state is M
+        assert m.run_stats.coherence.total_messages == msgs_before
+        # the directory still believes E; that is the standard silent upgrade
+        assert entry(m, a).state in (E, M)
+
+
+class TestSharing:
+    def test_read_sharing(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        m.access(1, a, 8, LOAD)
+        e = entry(m, a)
+        assert e.state is S
+        assert e.sharers == {0, 1}
+        assert priv(m, 0, a).state is S
+        assert priv(m, 1, a).state is S
+
+    def test_read_of_modified_downgrades_owner(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, STORE)
+        m.access(1, a, 8, LOAD)
+        assert m.run_stats.coherence.downgrades == 1
+        assert priv(m, 0, a).state is S
+        # dirty data written back to the LLC
+        assert m.run_stats.coherence.writebacks == 1
+
+    def test_read_of_exclusive_downgrades_without_writeback(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        m.access(1, a, 8, LOAD)
+        assert m.run_stats.coherence.downgrades == 1
+        assert m.run_stats.coherence.writebacks == 0
+
+    def test_write_invalidates_sharers(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        m.access(1, a, 8, LOAD)
+        m.access(2, a, 8, STORE)
+        assert m.run_stats.coherence.invalidations == 2
+        assert priv(m, 0, a) is None or priv(m, 0, a).state is I
+        assert priv(m, 1, a) is None
+        assert entry(m, a).owner == 2
+
+    def test_write_steals_ownership(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, STORE)
+        m.access(1, a, 8, STORE)
+        assert m.run_stats.coherence.invalidations == 1
+        e = entry(m, a)
+        assert e.state is M and e.owner == 1
+        assert priv(m, 0, a) is None
+
+    def test_upgrade_from_shared(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        m.access(1, a, 8, LOAD)
+        m.access(0, a, 8, STORE)  # upgrade, invalidating core 1
+        assert m.run_stats.coherence.invalidations == 1
+        assert priv(m, 0, a).state is M
+        assert priv(m, 1, a) is None
+
+    def test_rmw_behaves_like_store_for_coherence(self, m):
+        a = m.sbrk(64)
+        m.access(0, a, 8, LOAD)
+        m.access(1, a, 8, RMW)
+        assert entry(m, a).owner == 1
+
+
+class TestLatencyOrdering:
+    def test_remote_socket_costs_more(self, m):
+        cfg = m.config
+        a = m.sbrk(64)
+        m.protocol.set_page_home(a, 64, 0)
+        local = m.access(0, a, 8, LOAD)  # core 0: socket 0, home 0
+        b = m.sbrk(64)
+        m.protocol.set_page_home(b, 64, 0)
+        remote = m.access(cfg.cores_per_socket, b, 8, LOAD)  # other socket
+        assert remote > local
+
+    def test_forward_costs_more_than_llc(self, m):
+        a = m.sbrk(64)
+        m.protocol.set_page_home(a, 64, 0)
+        m.access(0, a, 8, STORE)
+        fwd_lat = m.access(1, a, 8, LOAD)  # downgrade + forward
+        b = m.sbrk(64)
+        m.protocol.set_page_home(b, 64, 0)
+        m.access(0, b, 8, LOAD)
+        m.access(1, b, 8, LOAD)
+        m.protocol.l2[1].invalidate(b)
+        m.protocol.l1[1].invalidate(b)
+        m.protocol.dir_entry(b).sharers.discard(1)
+        llc_lat = m.access(1, b, 8, LOAD)  # plain shared LLC hit
+        assert fwd_lat > llc_lat
+
+
+class TestEvictions:
+    def test_dirty_eviction_writes_back_and_clears_directory(self, m):
+        # conflicting blocks (same L2 set, more than associativity many)
+        stride = m.protocol.l2[0].num_sets * 64
+        ways = m.protocol.l2[0].assoc
+        base = m.sbrk(stride * (ways + 2))
+        for i in range(ways + 1):
+            m.access(0, base + i * stride, 8, STORE)
+        wb = m.run_stats.coherence.writebacks
+        assert wb >= 1
+        e = entry(m, base)
+        assert e.state is I and e.owner is None
+
+    def test_shared_eviction_updates_sharers(self, m):
+        stride = m.protocol.l2[0].num_sets * 64
+        ways = m.protocol.l2[0].assoc
+        base = m.sbrk(stride * (ways + 2))
+        for i in range(ways + 1):
+            m.access(0, base + i * stride, 8, LOAD)
+        e = entry(m, base)
+        assert 0 not in e.sharers
+
+    def test_invariants_after_eviction_storm(self, m):
+        base = m.sbrk(64 * 128)
+        for i in range(100):
+            m.access(i % m.config.num_cores, base + i * 64, 8,
+                     STORE if i % 3 else LOAD)
+        m.protocol.check_invariants()
+
+
+class TestWardApiIsNoop:
+    def test_add_region_returns_none(self, m):
+        assert m.add_ward_region(0, 0, 4096) is None
+
+    def test_supports_ward_false(self, m):
+        assert not m.supports_ward

@@ -1,0 +1,62 @@
+"""Table-1 ping-pong microbenchmark tests."""
+
+import pytest
+
+from repro.bench.microbench import (
+    PAPER_TABLE1,
+    SCENARIOS,
+    TimedCell,
+    run_pingpong,
+    run_table1,
+)
+
+
+class TestTimedCell:
+    def test_old_value_until_visible(self):
+        cell = TimedCell(0)
+        cell.write(1, visible_at=100)
+        assert cell.read(99) == 0
+        assert cell.read(100) == 1
+
+    def test_initial_value_visible_immediately(self):
+        assert TimedCell(7).read(0) == 7
+
+
+class TestPingPong:
+    def test_scenario_latency_ordering(self):
+        res = run_table1(iterations=100)
+        same_core = res["same-core"].cycles_per_iteration
+        same_socket = res["same-socket"].cycles_per_iteration
+        cross = res["cross-socket"].cycles_per_iteration
+        assert same_core < same_socket < cross
+
+    def test_matches_paper_sniper_within_2x(self):
+        res = run_table1(iterations=100)
+        for scenario in ("same-socket", "cross-socket"):
+            ours = res[scenario].cycles_per_iteration
+            sniper = PAPER_TABLE1[scenario]["sniper"]
+            assert 0.5 < ours / sniper < 2.0
+
+    def test_same_core_is_cheap(self):
+        res = run_pingpong("same-core", iterations=100)
+        assert res.cycles_per_iteration < 60
+
+    def test_iterations_complete(self):
+        res = run_pingpong("same-socket", iterations=50)
+        assert res.iterations == 50
+        assert res.total_cycles > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_pingpong("same-planet")
+
+    def test_all_scenarios_have_paper_numbers(self):
+        assert set(SCENARIOS) == set(PAPER_TABLE1)
+
+    def test_warden_protocol_also_runs(self):
+        # the shared word is not in any region: WARDen == MESI here
+        mesi = run_pingpong("same-socket", iterations=50, protocol="mesi")
+        warden = run_pingpong("same-socket", iterations=50, protocol="warden")
+        assert warden.cycles_per_iteration == pytest.approx(
+            mesi.cycles_per_iteration
+        )

@@ -1,0 +1,41 @@
+"""Marking-policy semantics and the public API surface."""
+
+import repro
+from repro.hlpl.policy import MarkingPolicy
+
+
+class TestMarkingPolicy:
+    def test_none_marks_nothing(self):
+        assert not MarkingPolicy.NONE.marks_pages
+        assert not MarkingPolicy.NONE.marks_constructs
+
+    def test_leaf_pages_marks_pages_only(self):
+        assert MarkingPolicy.LEAF_PAGES.marks_pages
+        assert not MarkingPolicy.LEAF_PAGES.marks_constructs
+
+    def test_full_marks_both(self):
+        assert MarkingPolicy.FULL.marks_pages
+        assert MarkingPolicy.FULL.marks_constructs
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_fourteen_benchmarks_exported(self):
+        assert len(repro.BENCHMARKS) == 14
+        assert len(repro.PAPER_ORDER) == 14
+
+    def test_protocol_classes_exported(self):
+        assert repro.MESIProtocol.name == "MESI"
+        assert repro.WARDenProtocol.name == "WARDen"
+        assert repro.WARDenProtocol.supports_ward
+
+    def test_preset_names(self):
+        assert repro.single_socket().name == "single-socket"
+        assert repro.dual_socket().name == "dual-socket"
+        assert repro.disaggregated().disaggregated

@@ -1,0 +1,121 @@
+"""Property-based protocol tests (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessType, CoherenceState
+from repro.sim.machine import Machine
+from tests.conftest import tiny_config
+
+LOAD = AccessType.LOAD
+STORE = AccessType.STORE
+W = CoherenceState.WARD
+
+access_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),                      # thread
+        st.integers(0, 31),                     # block index
+        st.integers(0, 7),                      # word within block
+        st.sampled_from([LOAD, STORE, AccessType.RMW]),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=access_strategy)
+def test_mesi_invariants_hold_on_random_traces(trace):
+    m = Machine(tiny_config(), "mesi")
+    base = m.sbrk(64 * 32, 64)
+    for thread, block, word, atype in trace:
+        m.access(thread, base + block * 64 + word * 8, 8, atype)
+    m.protocol.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=access_strategy)
+def test_mesi_swmr_after_every_write(trace):
+    """Single-Writer-Multiple-Reader: after a store, no other core holds a
+    writable copy of that block."""
+    m = Machine(tiny_config(), "mesi")
+    base = m.sbrk(64 * 32, 64)
+    for thread, block, word, atype in trace:
+        addr = base + block * 64 + word * 8
+        m.access(thread, addr, 8, atype)
+        if atype.is_write:
+            writer_core = m.config.core_of_thread(thread)
+            block_addr = base + block * 64
+            for core in range(m.config.num_cores):
+                if core == writer_core:
+                    continue
+                copy = m.protocol.private_block(core, block_addr)
+                assert copy is None or not copy.state.grants_write
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=access_strategy, region_blocks=st.sets(st.integers(0, 31)))
+def test_warden_never_invalidates_or_downgrades_in_regions(trace, region_blocks):
+    """While a region is active, accesses to its blocks generate no
+    invalidations and no downgrades (the point of the W state)."""
+    m = Machine(tiny_config(), "warden")
+    base = m.sbrk(64 * 32, 64)
+    regions = [
+        m.add_ward_region(0, base + b * 64, base + b * 64 + 64)
+        for b in sorted(region_blocks)
+    ]
+    st0 = m.run_stats.coherence
+    before_inv, before_dg = st0.invalidations, st0.downgrades
+    in_region_events = 0
+    for thread, block, word, atype in trace:
+        addr = base + block * 64 + word * 8
+        inv0, dg0 = st0.invalidations, st0.downgrades
+        m.access(thread, addr, 8, atype)
+        if block in region_blocks:
+            in_region_events += (st0.invalidations - inv0) + (st0.downgrades - dg0)
+    assert in_region_events == 0
+    for region in regions:
+        m.remove_ward_region(0, region)
+    m.protocol.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=access_strategy, seed=st.integers(0, 5))
+def test_warden_reconciliation_reaches_coherent_state(trace, seed):
+    """After all regions are removed, the directory is back to pure MESI
+    states and invariants hold — whatever happened inside the regions."""
+    m = Machine(tiny_config(), "warden")
+    base = m.sbrk(64 * 32, 64)
+    rng = random.Random(seed)
+    live = []
+    for i, (thread, block, word, atype) in enumerate(trace):
+        if rng.random() < 0.1:
+            start = base + rng.randrange(32) * 64
+            region = m.add_ward_region(0, start, start + 64 * rng.randrange(1, 4))
+            if region is not None:
+                live.append(region)
+        if live and rng.random() < 0.08:
+            m.remove_ward_region(0, live.pop(rng.randrange(len(live))))
+        m.access(thread, base + block * 64 + word * 8, 8, atype)
+    for region in live:
+        m.remove_ward_region(0, region)
+    for directory in m.protocol.dirs:
+        for entry in directory.entries():
+            assert entry.state is not W
+    m.protocol.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=access_strategy)
+def test_warden_with_no_regions_matches_mesi_exactly(trace):
+    machines = [Machine(tiny_config(), p) for p in ("mesi", "warden")]
+    results = []
+    for m in machines:
+        base = m.sbrk(64 * 32, 64)
+        lats = [
+            m.access(t, base + b * 64 + w * 8, 8, a) for t, b, w, a in trace
+        ]
+        results.append((lats, m.run_stats.coherence.total_messages))
+    assert results[0] == results[1]

@@ -1,0 +1,133 @@
+"""Unit + property tests for the WARD region table (CAM model, §6.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.regions import RegionTable
+
+
+class TestAddRemove:
+    def test_add_and_lookup(self):
+        t = RegionTable()
+        r = t.add(0x1000, 0x2000)
+        assert t.lookup(0x1000) is r
+        assert t.lookup(0x1FFF) is r
+        assert t.lookup(0x2000) is None
+        assert t.lookup(0xFFF) is None
+
+    def test_remove_clears_lookup(self):
+        t = RegionTable()
+        r = t.add(0, 64)
+        t.remove(r)
+        assert t.lookup(0) is None
+        assert len(t) == 0
+
+    def test_remove_twice_raises(self):
+        t = RegionTable()
+        r = t.add(0, 64)
+        t.remove(r)
+        with pytest.raises(KeyError):
+            t.remove(r)
+
+    def test_empty_region_rejected(self):
+        t = RegionTable()
+        with pytest.raises(ValueError):
+            t.add(64, 64)
+
+    def test_counters(self):
+        t = RegionTable()
+        r = t.add(0, 64)
+        t.add(64, 128)
+        t.remove(r)
+        assert t.adds == 2 and t.removes == 1
+        assert t.peak_occupancy == 2
+
+
+class TestOverlap:
+    def test_overlapping_regions_both_found(self):
+        t = RegionTable()
+        a = t.add(0, 128)
+        b = t.add(64, 256)
+        found = t.regions_containing(100)
+        assert {r.region_id for r in found} == {a.region_id, b.region_id}
+
+    def test_address_in_any_region_is_ward(self):
+        # "If an address is somehow found in more than one region, we just
+        # mark it as WARD" (§6.1)
+        t = RegionTable()
+        a = t.add(0, 128)
+        t.add(64, 256)
+        t.remove(a)
+        assert t.contains(100)  # still covered by the second region
+        assert not t.contains(32)
+
+    def test_identical_regions(self):
+        t = RegionTable()
+        t.add(0, 64)
+        t.add(0, 64)
+        assert len(t.regions_containing(10)) == 2
+
+
+class TestCapacity:
+    def test_full_cam_rejects(self):
+        t = RegionTable(capacity=2)
+        assert t.add(0, 64) is not None
+        assert t.add(64, 128) is not None
+        assert t.add(128, 192) is None  # full: fall back to plain MESI
+        assert t.rejected_adds == 1
+
+    def test_capacity_frees_on_remove(self):
+        t = RegionTable(capacity=1)
+        r = t.add(0, 64)
+        t.remove(r)
+        assert t.add(64, 128) is not None
+
+    def test_default_capacity_is_1024(self):
+        assert RegionTable().capacity == 1024
+
+
+class TestBlocksRegistry:
+    def test_blocks_start_empty(self):
+        t = RegionTable()
+        r = t.add(0, 4096)
+        assert r.blocks == set()
+
+    def test_blocks_tracked_by_caller(self):
+        t = RegionTable()
+        r = t.add(0, 4096)
+        r.blocks.add(0)
+        r.blocks.add(64)
+        assert len(r.blocks) == 2
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 500), st.integers(1, 200)),
+        min_size=1,
+        max_size=40,
+    ),
+    probes=st.lists(st.integers(0, 800), min_size=1, max_size=20),
+    removals=st.sets(st.integers(0, 39)),
+)
+def test_lookup_matches_naive_model(ops, probes, removals):
+    """Property: point lookups agree with a brute-force interval scan,
+    across arbitrary adds and removals of possibly-overlapping regions."""
+    table = RegionTable()
+    live = {}
+    for i, (start, length) in enumerate(ops):
+        region = table.add(start, start + length)
+        assert region is not None
+        live[i] = region
+    for i in removals:
+        if i in live:
+            table.remove(live.pop(i))
+    for addr in probes:
+        expected = any(r.start <= addr < r.end for r in live.values())
+        assert table.contains(addr) == expected
+        found = table.regions_containing(addr)
+        expected_ids = {
+            r.region_id for r in live.values() if r.start <= addr < r.end
+        }
+        assert {r.region_id for r in found} == expected_ids

@@ -1,0 +1,249 @@
+"""Runtime tests: fork/join semantics, heap lifecycle, WARD marking,
+disentanglement enforcement."""
+
+import pytest
+
+from repro.common.errors import DisentanglementError
+from repro.hlpl.policy import MarkingPolicy
+from repro.hlpl.runtime import CLOSURE_WORDS, Runtime
+from repro.sim.machine import Machine
+from repro.sim.ops import ComputeOp
+from tests.conftest import tiny_config
+
+
+def run(root_fn, *args, protocol="mesi", policy=MarkingPolicy.FULL, **rt_kwargs):
+    machine = Machine(tiny_config(), protocol)
+    rt = Runtime(machine, policy=policy, **rt_kwargs)
+    result, stats = rt.run(root_fn, *args)
+    machine.protocol.check_invariants()
+    return result, stats, rt
+
+
+class TestForkJoin:
+    def test_root_result_returned(self):
+        def root(ctx):
+            yield ComputeOp(1)
+            return "done"
+
+        result, _, _ = run(root)
+        assert result == "done"
+
+    def test_child_heaps_merge_into_parent(self):
+        heaps = {}
+
+        def child(ctx):
+            arr = yield from ctx.alloc_array(4, fill=0)
+            heaps["child_heap"] = arr.heap
+            return arr
+
+        def root(ctx):
+            heaps["root_task"] = ctx.task
+            (arr,) = yield from ctx.par(child)
+            # after the join the child's data belongs to the root's heap
+            value = yield from arr.get(0)
+            return value
+
+        result, _, _ = run(root)
+        assert result == 0
+        assert heaps["child_heap"].live_owner is heaps["root_task"]
+
+    def test_join_waits_for_all_children(self):
+        done = []
+
+        def child(k):
+            def body(ctx):
+                yield ComputeOp(10 * (k + 1))
+                done.append(k)
+                return k
+            return body
+
+        def root(ctx):
+            results = yield from ctx.par(*[child(k) for k in range(5)])
+            assert sorted(done) == list(range(5))
+            return results
+
+        result, _, _ = run(root)
+        assert result == list(range(5))
+
+    def test_closure_traffic_generated(self):
+        def root(ctx):
+            yield from ctx.par(lambda c: c.value(1), lambda c: c.value(2))
+            return None
+
+        _, stats, _ = run(root)
+        # parent writes CLOSURE_WORDS per child; each child reads them back
+        assert stats.cores.stores >= 2 * CLOSURE_WORDS
+        assert stats.cores.loads >= 2 * CLOSURE_WORDS
+
+    def test_join_counter_uses_atomics(self):
+        def root(ctx):
+            yield from ctx.par(lambda c: c.value(1), lambda c: c.value(2))
+            return None
+
+        _, stats, _ = run(root)
+        assert stats.cores.rmws >= 2  # one decrement per child
+
+    def test_join_records_recycled(self):
+        def root(ctx):
+            for _ in range(5):
+                yield from ctx.par(lambda c: c.value(1), lambda c: c.value(2))
+            return None
+
+        _, _, rt = run(root)
+        pools = rt._counter_pool
+        assert sum(len(v) for v in pools.values()) == 1  # reused, not leaked
+
+
+class TestWardMarking:
+    def test_pages_marked_and_unmarked(self):
+        def root(ctx):
+            arr = yield from ctx.alloc_array(8, fill=0)
+            yield from ctx.par(lambda c: c.value(1), lambda c: c.value(2))
+            return None
+
+        _, stats, _ = run(root, protocol="warden")
+        coh = stats.coherence
+        assert coh.ward_region_adds > 0
+        # every add is eventually matched by a remove at a fork or join
+        assert coh.ward_region_removes <= coh.ward_region_adds
+
+    def test_policy_none_marks_nothing(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(16, lambda c, i: c.value(i), grain=4)
+            return arr.to_list()
+
+        _, stats, _ = run(root, protocol="warden", policy=MarkingPolicy.NONE)
+        assert stats.coherence.ward_region_adds == 0
+        assert stats.coherence.ward_accesses == 0
+
+    def test_leaf_pages_policy_skips_constructs(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(16, lambda c, i: c.value(i), grain=4)
+            return arr.to_list()
+
+        _, full_stats, _ = run(root, protocol="warden", policy=MarkingPolicy.FULL)
+        _, leaf_stats, _ = run(
+            root, protocol="warden", policy=MarkingPolicy.LEAF_PAGES
+        )
+        assert leaf_stats.coherence.ward_region_adds < full_stats.coherence.ward_region_adds
+
+    def test_mesi_machine_never_registers_regions(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(16, lambda c, i: c.value(i), grain=4)
+            return None
+
+        _, stats, _ = run(root, protocol="mesi")
+        assert stats.coherence.ward_region_adds == 0
+
+    def test_no_active_regions_after_run(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(64, lambda c, i: c.value(i), grain=8)
+            total = yield from ctx.reduce(
+                0, 64, lambda c, i: arr.get(i), lambda a, b: a + b, grain=8
+            )
+            return total
+
+        machine = Machine(tiny_config(), "warden")
+        rt = Runtime(machine)
+        result, stats = rt.run(root)
+        assert result == sum(range(64))
+        # every construct region was closed; any region still active must be
+        # a leaf page of a live heap (marked, never unmarked by a fork)
+        active = machine.protocol.region_table.active_regions()
+        assert (
+            stats.coherence.ward_region_removes
+            == stats.coherence.ward_region_adds - len(active)
+        )
+
+
+class TestDisentanglement:
+    def test_sibling_access_rejected(self):
+        leaked = {}
+
+        def writer(ctx):
+            arr = yield from ctx.alloc_array(4, fill=0)
+            leaked["arr"] = arr
+            yield ComputeOp(200)  # stay alive while the sibling misbehaves
+            return None
+
+        def reader(ctx):
+            yield ComputeOp(1)
+            value = yield from leaked["arr"].get(0)  # sibling's heap!
+            return value
+
+        def root(ctx):
+            yield from ctx.par(writer, reader)
+            return None
+
+        with pytest.raises(DisentanglementError):
+            run(root)
+
+    def test_ancestor_access_allowed(self):
+        def root(ctx):
+            arr = yield from ctx.alloc_array(4, fill=7)
+
+            def child(c):
+                value = yield from arr.get(0)  # ancestor heap: legal
+                return value
+
+            results = yield from ctx.par(child, child)
+            return results
+
+        result, _, _ = run(root)
+        assert result == [7, 7]
+
+    def test_check_can_be_disabled(self):
+        leaked = {}
+
+        def writer(ctx):
+            arr = yield from ctx.alloc_array(4, fill=0)
+            leaked["arr"] = arr
+            yield ComputeOp(200)
+            return None
+
+        def reader(ctx):
+            yield ComputeOp(1)
+            value = yield from leaked["arr"].get(0)
+            return value
+
+        def root(ctx):
+            yield from ctx.par(writer, reader)
+            return "survived"
+
+        result, _, _ = run(root, check_disentanglement=False)
+        assert result == "survived"
+
+
+class TestDeterminism:
+    def test_same_seed_same_cycles(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(64, lambda c, i: c.value(i), grain=8)
+            total = yield from ctx.reduce(
+                0, 64, lambda c, i: arr.get(i), lambda a, b: a + b, grain=8
+            )
+            return total
+
+        cycles = []
+        for _ in range(2):
+            machine = Machine(tiny_config(), "warden")
+            rt = Runtime(machine, seed=5)
+            _, stats = rt.run(root)
+            cycles.append(stats.cycles)
+        assert cycles[0] == cycles[1]
+
+    def test_different_seed_perturbs_schedule(self):
+        def root(ctx):
+            arr = yield from ctx.tabulate(128, lambda c, i: c.value(i), grain=8)
+            total = yield from ctx.reduce(
+                0, 128, lambda c, i: arr.get(i), lambda a, b: a + b, grain=8
+            )
+            return total
+
+        results = set()
+        for seed in range(4):
+            machine = Machine(tiny_config(), "warden")
+            rt = Runtime(machine, seed=seed)
+            result, stats = rt.run(root)
+            assert result == sum(range(128))
+            results.add(stats.cycles)
+        assert len(results) > 1  # schedules actually differ

@@ -1,0 +1,83 @@
+"""Statistics container tests."""
+
+import pytest
+
+from repro.common.stats import CoherenceStats, CoreStats, EnergyStats, RunStats
+from repro.common.types import MessageType
+
+
+class TestCoherenceStats:
+    def test_message_counting_by_link(self):
+        s = CoherenceStats()
+        s.count_message(MessageType.GET_S, "intra")
+        s.count_message(MessageType.GET_S, "intra", 2)
+        s.count_message(MessageType.DATA, "socket")
+        assert s.total_messages == 4
+        assert s.messages_by_link() == {"intra": 3, "socket": 1}
+
+    def test_data_message_count(self):
+        s = CoherenceStats()
+        s.count_message(MessageType.DATA, "intra", 3)
+        s.count_message(MessageType.INV, "intra", 5)
+        assert s.data_message_count() == 3
+
+    def test_ward_coverage(self):
+        s = CoherenceStats()
+        assert s.ward_coverage == 0.0
+        s.total_accesses = 10
+        s.ward_accesses = 4
+        assert s.ward_coverage == pytest.approx(0.4)
+
+    def test_merge_accumulates(self):
+        a, b = CoherenceStats(), CoherenceStats()
+        a.invalidations = 2
+        b.invalidations = 3
+        b.downgrades = 1
+        b.count_message(MessageType.INV, "intra")
+        a.merge(b)
+        assert a.invalidations == 5
+        assert a.downgrades == 1
+        assert a.total_messages == 1
+
+
+class TestCoreStats:
+    def test_instruction_total(self):
+        s = CoreStats(loads=1, stores=2, rmws=3, compute_instrs=4)
+        assert s.instructions == 10
+
+    def test_merge(self):
+        a = CoreStats(loads=1, spin_loads=1)
+        b = CoreStats(loads=2, steal_attempts=5, successful_steals=1)
+        a.merge(b)
+        assert a.loads == 3
+        assert a.steal_attempts == 5
+        assert a.spin_loads == 1
+
+
+class TestEnergyStats:
+    def test_processor_sums_all_components(self):
+        e = EnergyStats(cache_nj=1, dram_nj=2, network_nj=3,
+                        core_dynamic_nj=4, core_static_nj=5)
+        assert e.processor_nj == 15
+        assert e.interconnect_nj == 3
+
+
+class TestRunStats:
+    def test_ipc(self):
+        s = RunStats(num_threads=4)
+        s.cycles = 100
+        s.cores.compute_instrs = 200
+        assert s.ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert RunStats().ipc == 0.0
+
+    def test_inv_dg_per_kilo_instr(self):
+        s = RunStats()
+        s.cores.compute_instrs = 2000
+        s.coherence.invalidations = 6
+        s.coherence.downgrades = 4
+        assert s.inv_dg_per_kilo_instr() == pytest.approx(5.0)
+
+    def test_inv_dg_zero_instructions(self):
+        assert RunStats().inv_dg_per_kilo_instr() == 0.0

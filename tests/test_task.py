@@ -1,0 +1,50 @@
+"""Spawn-tree node tests."""
+
+from repro.hlpl.task import JoinRecord, TaskNode
+
+
+class TestAncestry:
+    def test_self_is_ancestor_or_self(self):
+        t = TaskNode(None)
+        assert t.is_ancestor_or_self(t)
+
+    def test_parent_is_ancestor(self):
+        root = TaskNode(None)
+        child = TaskNode(root)
+        grandchild = TaskNode(child)
+        assert root.is_ancestor_or_self(grandchild)
+        assert child.is_ancestor_or_self(grandchild)
+
+    def test_child_is_not_ancestor_of_parent(self):
+        root = TaskNode(None)
+        child = TaskNode(root)
+        assert not child.is_ancestor_or_self(root)
+
+    def test_siblings_are_not_ancestors(self):
+        root = TaskNode(None)
+        a, b = TaskNode(root), TaskNode(root)
+        assert not a.is_ancestor_or_self(b)
+        assert not b.is_ancestor_or_self(a)
+
+    def test_cousins_are_not_ancestors(self):
+        root = TaskNode(None)
+        a, b = TaskNode(root), TaskNode(root)
+        a1, b1 = TaskNode(a), TaskNode(b)
+        assert not a1.is_ancestor_or_self(b1)
+
+    def test_depth_tracking(self):
+        root = TaskNode(None)
+        assert root.depth == 0
+        assert TaskNode(TaskNode(root)).depth == 2
+
+    def test_ids_are_unique(self):
+        ids = {TaskNode(None).task_id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestJoinRecord:
+    def test_initial_state(self):
+        record = JoinRecord(object(), 3, counter_addr=0x40)
+        assert record.remaining == 3
+        assert record.results == [None, None, None]
+        assert record.children == []

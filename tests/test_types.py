@@ -1,0 +1,125 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    AccessType,
+    CoherenceState,
+    MessageType,
+    block_of,
+    block_offset,
+    block_range,
+    sector_mask,
+)
+
+
+class TestAccessType:
+    def test_load_is_read_only(self):
+        assert AccessType.LOAD.is_read
+        assert not AccessType.LOAD.is_write
+
+    def test_store_is_write_only(self):
+        assert AccessType.STORE.is_write
+        assert not AccessType.STORE.is_read
+
+    def test_rmw_is_both(self):
+        assert AccessType.RMW.is_read
+        assert AccessType.RMW.is_write
+
+
+class TestCoherenceState:
+    def test_invalid_grants_nothing(self):
+        assert not CoherenceState.INVALID.grants_read
+        assert not CoherenceState.INVALID.grants_write
+
+    def test_shared_grants_read_only(self):
+        assert CoherenceState.SHARED.grants_read
+        assert not CoherenceState.SHARED.grants_write
+
+    @pytest.mark.parametrize(
+        "state",
+        [CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE, CoherenceState.WARD],
+    )
+    def test_owned_states_grant_write(self, state):
+        assert state.grants_read
+        assert state.grants_write
+
+    def test_only_w_is_ward(self):
+        assert CoherenceState.WARD.is_ward
+        for state in CoherenceState:
+            if state is not CoherenceState.WARD:
+                assert not state.is_ward
+
+
+class TestMessageType:
+    def test_data_messages_carry_data(self):
+        assert MessageType.DATA.carries_data
+        assert MessageType.DATA_E.carries_data
+        assert MessageType.WB_DATA.carries_data
+
+    @pytest.mark.parametrize(
+        "mtype",
+        [MessageType.GET_S, MessageType.GET_M, MessageType.INV,
+         MessageType.INV_ACK, MessageType.UPGRADE, MessageType.RECONCILE],
+    )
+    def test_control_messages_do_not(self, mtype):
+        assert not mtype.carries_data
+
+
+class TestBlockHelpers:
+    def test_block_of_aligns_down(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 64
+        assert block_of(130) == 128
+
+    def test_block_of_custom_size(self):
+        assert block_of(130, 32) == 128
+        assert block_of(127, 32) == 96
+
+    def test_block_offset(self):
+        assert block_offset(0) == 0
+        assert block_offset(70) == 6
+        assert block_offset(63) == 63
+
+    def test_block_range_single(self):
+        assert list(block_range(0, 1)) == [0]
+        assert list(block_range(10, 8)) == [0]
+
+    def test_block_range_crossing(self):
+        assert list(block_range(60, 8)) == [0, 64]
+
+    def test_block_range_multi(self):
+        assert list(block_range(0, 256)) == [0, 64, 128, 192]
+
+    def test_block_range_empty(self):
+        assert list(block_range(100, 0)) == []
+
+    def test_block_range_exact_end(self):
+        assert list(block_range(64, 64)) == [64]
+
+
+class TestSectorMask:
+    def test_single_byte(self):
+        assert sector_mask(0, 1) == 0b1
+        assert sector_mask(3, 1) == 0b1000
+
+    def test_word(self):
+        assert sector_mask(0, 8) == 0xFF
+        assert sector_mask(8, 8) == 0xFF00
+
+    def test_offset_within_block(self):
+        assert sector_mask(64, 8) == 0xFF  # block-relative
+        assert sector_mask(72, 8) == 0xFF00
+
+    def test_full_block(self):
+        assert sector_mask(0, 64) == (1 << 64) - 1
+
+    def test_crossing_block_rejected(self):
+        with pytest.raises(ValueError):
+            sector_mask(60, 8)
+
+    def test_masks_disjoint_for_disjoint_bytes(self):
+        a = sector_mask(0, 8)
+        b = sector_mask(8, 8)
+        assert a & b == 0

@@ -1,0 +1,106 @@
+"""Dynamic WARD checker tests (§3.1 conditions)."""
+
+import pytest
+
+from repro.common.errors import WardViolationError
+from repro.common.types import AccessType
+from repro.verify.ward_checker import WardChecker
+
+LOAD = AccessType.LOAD
+STORE = AccessType.STORE
+
+
+class TestRawDetection:
+    def test_cross_thread_raw_in_region_raises(self):
+        c = WardChecker()
+        c.region_added(0, 64)
+        c.on_access(0, 8, 8, STORE)
+        with pytest.raises(WardViolationError):
+            c.on_access(1, 8, 8, LOAD)
+
+    def test_same_thread_raw_is_fine(self):
+        c = WardChecker()
+        c.region_added(0, 64)
+        c.on_access(0, 8, 8, STORE)
+        c.on_access(0, 8, 8, LOAD)
+        assert c.clean
+
+    def test_raw_outside_region_ignored(self):
+        c = WardChecker()
+        c.region_added(0, 64)
+        c.on_access(0, 128, 8, STORE)
+        c.on_access(1, 128, 8, LOAD)
+        assert c.clean
+
+    def test_read_before_any_write_is_fine(self):
+        c = WardChecker()
+        c.region_added(0, 64)
+        c.on_access(1, 8, 8, LOAD)
+        assert c.clean
+
+    def test_violation_details(self):
+        c = WardChecker(raise_on_violation=False)
+        c.region_added(0, 64)
+        c.on_access(3, 16, 8, STORE)
+        c.on_access(5, 16, 8, LOAD)
+        assert not c.clean
+        v = c.violations[0]
+        assert (v.writer, v.reader, v.addr) == (3, 5, 16)
+
+
+class TestRegionEpochs:
+    def test_read_after_region_removed_is_fine(self):
+        c = WardChecker()
+        r = c.region_added(0, 64)
+        c.on_access(0, 8, 8, STORE)
+        c.region_removed(r)
+        c.on_access(1, 8, 8, LOAD)  # reconciliation made this coherent
+        assert c.clean
+
+    def test_new_epoch_forgets_old_writers(self):
+        c = WardChecker()
+        r1 = c.region_added(0, 64)
+        c.on_access(0, 8, 8, STORE)
+        c.region_removed(r1)
+        c.region_added(0, 64)  # new region, same addresses
+        c.on_access(1, 8, 8, LOAD)
+        assert c.clean
+
+
+class TestWawAccounting:
+    def test_cross_thread_waw_counted_not_flagged(self):
+        c = WardChecker()
+        c.region_added(0, 64)
+        c.on_access(0, 8, 8, STORE)
+        c.on_access(1, 8, 8, STORE)
+        assert c.waw_events == 1
+        assert c.clean
+
+    def test_same_thread_rewrites_not_counted(self):
+        c = WardChecker()
+        c.region_added(0, 64)
+        c.on_access(0, 8, 8, STORE)
+        c.on_access(0, 8, 8, STORE)
+        assert c.waw_events == 0
+
+    def test_checked_accesses_counted(self):
+        c = WardChecker()
+        c.on_access(0, 8, 8, LOAD)
+        c.on_access(0, 8, 8, STORE)
+        assert c.checked_accesses == 2
+
+
+class TestLiveTableIntegration:
+    def test_shares_protocol_region_table(self):
+        from repro.sim.machine import Machine
+        from tests.conftest import tiny_config
+
+        m = Machine(tiny_config(), "warden")
+        checker = WardChecker(region_table=m.protocol.region_table)
+        a = m.sbrk(64, 64)
+        region = m.add_ward_region(0, a, a + 64)
+        checker.on_access(0, a, 8, STORE)
+        with pytest.raises(WardViolationError):
+            checker.on_access(1, a, 8, LOAD)
+        m.remove_ward_region(0, region)
+        checker.on_access(1, a, 8, LOAD)  # region gone: fine

@@ -1,0 +1,120 @@
+"""WARDen edge cases beyond the main transition tests."""
+
+import pytest
+
+from repro.common.types import AccessType, CoherenceState
+from repro.sim.machine import Machine
+from tests.conftest import tiny_config
+
+LOAD = AccessType.LOAD
+STORE = AccessType.STORE
+RMW = AccessType.RMW
+W = CoherenceState.WARD
+S = CoherenceState.SHARED
+
+
+@pytest.fixture
+def m():
+    return Machine(tiny_config(), "warden")
+
+
+class TestAtomicsInRegions:
+    def test_rmw_in_region_served_without_invalidations(self, m):
+        """The runtime never puts sync variables in regions, but the
+        protocol must stay safe if software does it anyway."""
+        a = m.sbrk(64, 64)
+        region = m.add_ward_region(0, a, a + 64)
+        m.access(0, a, 8, RMW)
+        m.access(1, a, 8, RMW)
+        assert m.run_stats.coherence.invalidations == 0
+        m.remove_ward_region(0, region)
+        m.protocol.check_invariants()
+
+
+class TestPartialBlockRegions:
+    def test_region_boundary_is_exact(self, m):
+        """Blocks outside [start, end) are never warded, even adjacent."""
+        a = m.sbrk(256, 64)
+        region = m.add_ward_region(0, a + 64, a + 128)  # middle block only
+        m.access(0, a, 8, STORE)        # before the region
+        m.access(1, a, 8, STORE)        # -> normal MESI invalidation
+        m.access(0, a + 128, 8, STORE)  # after the region
+        m.access(1, a + 128, 8, STORE)
+        assert m.run_stats.coherence.invalidations == 2
+        m.access(0, a + 64, 8, STORE)   # inside
+        m.access(1, a + 64, 8, STORE)
+        assert m.run_stats.coherence.invalidations == 2  # unchanged
+        m.remove_ward_region(0, region)
+
+
+class TestRegionReuse:
+    def test_remark_after_reconcile(self, m):
+        """An address can enter, leave, and re-enter WARD coverage."""
+        a = m.sbrk(64, 64)
+        for _ in range(3):
+            region = m.add_ward_region(0, a, a + 64)
+            m.access(0, a, 8, STORE)
+            m.access(1, a, 8, LOAD)  # stale-tolerated read (no RAW in test)
+            m.remove_ward_region(0, region)
+        m.protocol.check_invariants()
+        assert m.run_stats.coherence.ward_region_adds == 3
+        assert m.run_stats.coherence.ward_region_removes == 3
+
+    def test_write_after_region_end_is_plain_mesi(self, m):
+        a = m.sbrk(64, 64)
+        region = m.add_ward_region(0, a, a + 64)
+        m.access(0, a, 8, STORE)
+        m.access(1, a + 8, 8, STORE)
+        m.remove_ward_region(0, region)
+        inv_before = m.run_stats.coherence.invalidations
+        m.access(0, a, 8, STORE)  # S copies may exist: upgrade/invalidate
+        assert m.run_stats.coherence.invalidations >= inv_before
+        m.protocol.check_invariants()
+
+
+class TestSmtSharing:
+    def test_sibling_threads_share_ward_copy(self):
+        cfg = tiny_config(num_sockets=1, cores_per_socket=2).replace(
+            threads_per_core=2
+        )
+        m = Machine(cfg, "warden")
+        a = m.sbrk(64, 64)
+        region = m.add_ward_region(0, a, a + 64)
+        m.access(0, a, 8, STORE)
+        lat = m.access(1, a, 8, STORE)  # same core, other SMT thread
+        assert lat == cfg.l1.latency  # private W hit
+        m.remove_ward_region(0, region)
+
+
+class TestWardStats:
+    def test_coverage_counts_hits_and_grants(self, m):
+        a = m.sbrk(64, 64)
+        region = m.add_ward_region(0, a, a + 64)
+        m.access(0, a, 8, STORE)   # grant
+        m.access(0, a, 8, STORE)   # private hit
+        m.access(0, a + 128, 8, STORE)  # not ward
+        coh = m.run_stats.coherence
+        assert coh.ward_accesses == 2
+        assert coh.total_accesses == 3
+        assert coh.ward_coverage == pytest.approx(2 / 3)
+        m.remove_ward_region(0, region)
+
+    def test_region_peak_occupancy_tracked(self, m):
+        regions = [
+            m.add_ward_region(0, m.sbrk(64, 64), m._brk) for _ in range(5)
+        ]
+        assert m.protocol.region_table.peak_occupancy == 5
+        for r in regions:
+            m.remove_ward_region(0, r)
+        assert len(m.protocol.region_table) == 0
+
+
+class TestLargeRegions:
+    def test_page_sized_region_many_blocks(self, m):
+        base = m.sbrk(4096, 4096)
+        region = m.add_ward_region(0, base, base + 4096)
+        for i in range(0, 4096, 64):
+            m.access(i // 64 % 4, base + i, 8, STORE)
+        m.remove_ward_region(0, region)
+        assert m.run_stats.coherence.reconciled_blocks > 30
+        m.protocol.check_invariants()
