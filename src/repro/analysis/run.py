@@ -52,17 +52,27 @@ def run_benchmark(
     check_ward: bool = False,
     check_result: bool = True,
     use_cache: bool = True,
+    obs_sink=None,
 ) -> BenchResult:
-    """Simulate one benchmark run; verify its result against the reference."""
+    """Simulate one benchmark run; verify its result against the reference.
+
+    ``obs_sink`` installs an observability sink (see :mod:`repro.obs`) on
+    the machine's tracer for the duration of the run; traced runs bypass
+    the result cache (a cached result has no event stream to replay).
+    """
     key = (name, protocol, config.name, config.num_sockets,
            config.cores_per_socket, config.disaggregated, size, seed,
            policy.value, check_ward)
+    if obs_sink is not None:
+        use_cache = False
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
     bench = BENCHMARKS[name]
     workload = bench.workload(size=size, seed=seed)
     machine = Machine(config, protocol)
+    if obs_sink is not None:
+        machine.tracer.install(obs_sink)
     monitor: Optional[WardChecker] = None
     if check_ward and machine.supports_ward:
         monitor = WardChecker(region_table=machine.protocol.region_table)

@@ -5,20 +5,24 @@ Usage (after ``pip install -e .``)::
     warden-repro specs                      # Table 2
     warden-repro table1                     # Sniper-validation ping-pong
     warden-repro figure fig7 [--size small] # single-socket speedup/energy
-    warden-repro figure fig8                # dual socket
+    warden-repro figure fig8 --json         # dual socket, machine-readable
     warden-repro figure fig9|fig10|fig11    # dual-socket analysis figures
     warden-repro figure fig12               # disaggregated
-    warden-repro run primes --protocol warden
+    warden-repro run primes --protocol warden --machine dual [--json]
+    warden-repro trace fib --size test --out trace.json   # Perfetto trace
+    warden-repro profile fib --size test    # flame summary + region profile
     warden-repro area                       # §6.1 CACTI estimates
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
-from repro.analysis.metrics import compare_multi
+from repro.analysis.metrics import compare_multi, summarize
 from repro.analysis.run import run_benchmark, run_pairs
 from repro.analysis.tables import (
     figure9,
@@ -32,8 +36,32 @@ from repro.bench import BENCHMARKS, DISAGGREGATED_SUBSET, PAPER_ORDER
 from repro.bench.microbench import run_table1
 from repro.common.config import disaggregated, dual_socket, single_socket
 from repro.energy.cacti import region_cam_area_overhead, sectoring_area_overhead
+from repro.obs.collect import (
+    LatencyHistogram,
+    MultiSink,
+    PhaseHistogram,
+    RegionProfile,
+    RingBufferSink,
+)
+from repro.obs.export import (
+    flame_summary,
+    manifest_json,
+    run_manifest,
+    write_chrome_trace,
+)
 
 FIGURES = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+
+#: machine presets selectable from the command line
+MACHINES = {
+    "single": single_socket,
+    "dual": dual_socket,
+    "disagg": disaggregated,
+}
+
+
+def _machine_config(args):
+    return MACHINES[args.machine]()
 
 
 def _metrics_for(config, names: List[str], size: str):
@@ -52,51 +80,138 @@ def cmd_table1(args) -> int:
     return 0
 
 
+#: per-figure rendering: (machine preset, benchmark list, renderer).
+#: argparse restricts ``figure`` to FIGURES, so this mapping is total.
+_FIGURE_SPECS = {
+    "fig7": (
+        single_socket,
+        lambda: PAPER_ORDER,
+        lambda m: speedup_energy_figure(
+            m, "Figure 7: performance and energy gains on single socket"
+        ),
+    ),
+    "fig8": (
+        dual_socket,
+        lambda: PAPER_ORDER,
+        lambda m: speedup_energy_figure(
+            m, "Figure 8: performance and energy gains on dual socket"
+        ),
+    ),
+    "fig9": (dual_socket, lambda: PAPER_ORDER, figure9),
+    "fig10": (dual_socket, lambda: PAPER_ORDER, figure10),
+    "fig11": (dual_socket, lambda: PAPER_ORDER, figure11),
+    "fig12": (
+        disaggregated,
+        lambda: DISAGGREGATED_SUBSET,
+        lambda m: speedup_energy_figure(
+            m, "Figure 12: performance and energy gains on disaggregated"
+        ),
+    ),
+}
+
+
 def cmd_figure(args) -> int:
-    size = args.size
-    if args.figure == "fig7":
-        metrics = _metrics_for(single_socket(), PAPER_ORDER, size)
-        print(speedup_energy_figure(
-            metrics, "Figure 7: performance and energy gains on single socket"
-        ))
-    elif args.figure == "fig8":
-        metrics = _metrics_for(dual_socket(), PAPER_ORDER, size)
-        print(speedup_energy_figure(
-            metrics, "Figure 8: performance and energy gains on dual socket"
-        ))
-    elif args.figure in ("fig9", "fig10", "fig11"):
-        metrics = _metrics_for(dual_socket(), PAPER_ORDER, size)
-        renderer = {"fig9": figure9, "fig10": figure10, "fig11": figure11}
-        print(renderer[args.figure](metrics))
-    elif args.figure == "fig12":
-        metrics = _metrics_for(disaggregated(), DISAGGREGATED_SUBSET, size)
-        print(speedup_energy_figure(
-            metrics, "Figure 12: performance and energy gains on disaggregated"
-        ))
+    config_fn, names_fn, renderer = _FIGURE_SPECS[args.figure]
+    metrics = _metrics_for(config_fn(), names_fn(), args.size)
+    if args.json:
+        print(json.dumps({
+            "figure": args.figure,
+            "size": args.size,
+            "rows": [dataclasses.asdict(m) for m in metrics],
+            "summary": summarize(metrics),
+        }, sort_keys=True))
     else:
-        print(f"unknown figure {args.figure}; choose from {FIGURES}",
-              file=sys.stderr)
-        return 2
+        print(renderer(metrics))
     return 0
 
 
 def cmd_run(args) -> int:
+    config = _machine_config(args)
     result = run_benchmark(
         args.benchmark,
         args.protocol,
-        dual_socket(),
+        config,
         size=args.size,
         check_ward=args.protocol == "warden",
     )
+    if args.json:
+        print(manifest_json(run_manifest(result, config)))
+        return 0
     s = result.stats
     print(f"benchmark : {result.benchmark} ({args.size})")
     print(f"protocol  : {result.protocol}")
+    print(f"machine   : {result.machine}")
     print(f"cycles    : {s.cycles}")
     print(f"instrs    : {s.instructions}  (IPC {s.ipc:.4f})")
     print(f"inv/dg    : {s.coherence.invalidations}/{s.coherence.downgrades}")
     print(f"ward cov. : {s.coherence.ward_coverage:.2%}")
     print(f"energy    : {s.energy.processor_nj / 1e3:.1f} uJ "
           f"(network {s.energy.interconnect_nj / 1e3:.1f} uJ)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = _machine_config(args)
+    sink = RingBufferSink(capacity=args.capacity, sample_every=args.sample)
+    result = run_benchmark(
+        args.benchmark,
+        args.protocol,
+        config,
+        size=args.size,
+        check_ward=args.protocol == "warden",
+        obs_sink=sink,
+    )
+    written = write_chrome_trace(
+        args.out,
+        sink.events(),
+        config,
+        extra={
+            "benchmark": result.benchmark,
+            "protocol": result.protocol,
+            "machine": result.machine,
+            "size": result.size,
+            "events_seen": sink.seen,
+            "events_recorded": len(sink),
+            "events_dropped": sink.dropped,
+        },
+    )
+    print(f"benchmark : {result.benchmark} ({args.size}) on {result.protocol}")
+    print(f"events    : {sink.seen} seen, {len(sink)} recorded, "
+          f"{sink.dropped} dropped by the ring buffer")
+    print(f"trace     : {args.out} ({written} trace events; open in Perfetto "
+          "or chrome://tracing)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    config = _machine_config(args)
+    ring = RingBufferSink(capacity=args.capacity)
+    latencies = LatencyHistogram()
+    phases = PhaseHistogram(bin_cycles=args.bin_cycles)
+    regions = RegionProfile()
+    result = run_benchmark(
+        args.benchmark,
+        args.protocol,
+        config,
+        size=args.size,
+        check_ward=args.protocol == "warden",
+        obs_sink=MultiSink(ring, latencies, phases, regions),
+    )
+    s = result.stats
+    print(f"profile: {result.benchmark} ({args.size}) on {result.protocol}, "
+          f"{result.machine} — {s.cycles} cycles, {s.instructions} instrs")
+    print()
+    print("== where the cycles went (flame-style, folded stacks) ==")
+    print(flame_summary(ring.events(), config))
+    print()
+    print("== WARD region profile ==")
+    print(regions.render())
+    print()
+    print("== access latencies ==")
+    print(latencies.render())
+    print()
+    print(f"== coherence events per {args.bin_cycles}-cycle phase ==")
+    print(phases.render())
     return 0
 
 
@@ -107,6 +222,24 @@ def cmd_area(_args) -> int:
     print(f"1024-region CAM area overhead: {region_cam_area_overhead(cfg):.4%} "
           "(paper: <0.05%)")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _add_bench_args(parser, default_protocol: str = "warden") -> None:
+    parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    parser.add_argument("--protocol", default=default_protocol,
+                        choices=("mesi", "warden"))
+    parser.add_argument("--size", default="default",
+                        choices=("test", "small", "default"))
+    parser.add_argument("--machine", default="dual",
+                        choices=sorted(MACHINES),
+                        help="machine preset (default: dual-socket Table 2)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,14 +259,37 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("figure", choices=FIGURES)
     pf.add_argument("--size", default="default",
                     choices=("test", "small", "default"))
+    pf.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON instead of the table")
     pf.set_defaults(func=cmd_figure)
 
     pr = sub.add_parser("run", help="run one benchmark")
-    pr.add_argument("benchmark", choices=sorted(BENCHMARKS))
-    pr.add_argument("--protocol", default="warden", choices=("mesi", "warden"))
-    pr.add_argument("--size", default="default",
-                    choices=("test", "small", "default"))
+    _add_bench_args(pr)
+    pr.add_argument("--json", action="store_true",
+                    help="emit a JSONL run manifest instead of text")
     pr.set_defaults(func=cmd_run)
+
+    pt = sub.add_parser(
+        "trace", help="record a coherence event trace (Chrome trace JSON)"
+    )
+    _add_bench_args(pt)
+    pt.add_argument("--out", default="trace.json",
+                    help="output path for the Chrome trace (default: %(default)s)")
+    pt.add_argument("--capacity", type=_positive_int, default=1_000_000,
+                    help="ring-buffer capacity in events (default: %(default)s)")
+    pt.add_argument("--sample", type=_positive_int, default=1,
+                    help="keep every N-th event (default: record everything)")
+    pt.set_defaults(func=cmd_trace)
+
+    pp = sub.add_parser(
+        "profile", help="run with collectors and print a profile summary"
+    )
+    _add_bench_args(pp)
+    pp.add_argument("--capacity", type=_positive_int, default=1_000_000,
+                    help="flame-summary ring-buffer capacity (default: %(default)s)")
+    pp.add_argument("--bin-cycles", type=_positive_int, default=100_000,
+                    help="phase-histogram bin width in cycles (default: %(default)s)")
+    pp.set_defaults(func=cmd_profile)
 
     sub.add_parser("area", help="§6.1 area estimates").set_defaults(func=cmd_area)
     return parser

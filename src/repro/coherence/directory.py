@@ -25,6 +25,19 @@ class DirEntry:
         self.owner: Optional[int] = None
         self.sharers: Set[int] = set()
 
+    def set_state(self, new_state: CoherenceState, tracer=None) -> None:
+        """Transition the entry, emitting a directory-side trace event.
+
+        Protocols route their Fig. 5 FSA transitions through here so an
+        installed tracer sees the directory timeline; with no tracer (or a
+        disabled one) this is just the assignment.
+        """
+        if tracer is not None and tracer.enabled and new_state is not self.state:
+            tracer.transition(
+                "dir", self.addr, self.state.value, new_state.value
+            )
+        self.state = new_state
+
     def check_invariants(self) -> None:
         """SWMR-style directory sanity (used heavily by tests)."""
         if self.state in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):

@@ -32,6 +32,7 @@ from repro.coherence.directory import Directory, DirEntry
 from repro.mem.block import CacheBlock
 from repro.mem.cache import SetAssocCache
 from repro.mem.interconnect import Interconnect, LinkClass
+from repro.obs.tracer import Tracer
 
 I = CoherenceState.INVALID
 S = CoherenceState.SHARED
@@ -46,10 +47,18 @@ class MESIProtocol:
     name = "MESI"
     supports_ward = False
 
-    def __init__(self, config: MachineConfig, stats: Optional[CoherenceStats] = None):
+    def __init__(
+        self,
+        config: MachineConfig,
+        stats: Optional[CoherenceStats] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.config = config
         self.stats = stats if stats is not None else CoherenceStats()
-        self.noc = Interconnect(config, self.stats)
+        #: event bus shared with the machine; a standalone (disabled) one
+        #: when the protocol is constructed directly
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.noc = Interconnect(config, self.stats, tracer=self.tracer)
         ncores = config.num_cores
         self.l1: List[SetAssocCache] = []
         self.l2: List[SetAssocCache] = []
@@ -60,6 +69,7 @@ class MESIProtocol:
                     config.l2,
                     f"L2-{core}",
                     on_evict=self._make_evict_hook(core),
+                    tracer=self.tracer,
                 )
             )
         llc_cfg = CacheConfig(
@@ -136,7 +146,7 @@ class MESIProtocol:
             if block.state is M:
                 self.stats.writebacks += 1
                 self._llc_fill(block.addr)
-            entry.state = I
+            entry.set_state(I, self.tracer)
             entry.owner = None
             entry.sharers.clear()
         elif block.state is S:
@@ -144,7 +154,7 @@ class MESIProtocol:
             self.noc.core_to_home(core, home, MessageType.PUT_M)
             entry.sharers.discard(core)
             if not entry.sharers:
-                entry.state = I
+                entry.set_state(I, self.tracer)
         block.state = I
 
     def _flush_ward_copy(self, core: int, block: CacheBlock, entry: DirEntry) -> None:
@@ -220,6 +230,9 @@ class MESIProtocol:
         if atype.is_write:
             if block.state is E:
                 block.state = M  # silent E -> M upgrade
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.transition("private", block.addr, "E", "M")
             block.mark_written(mask)
 
     # ------------------------------------------------------------------
@@ -248,7 +261,7 @@ class MESIProtocol:
             )
         latency = self._invalidate_sharers(block_addr, entry, exclude=core)
         latency += self.noc.home_to_core(self.home(block_addr), core, MessageType.DATA_E)
-        entry.state = M
+        entry.set_state(M, self.tracer)
         entry.owner = core
         entry.sharers.clear()
         block.state = M
@@ -260,6 +273,7 @@ class MESIProtocol:
     ) -> int:
         """Invalidate every sharer except ``exclude``; return added latency."""
         home = self.home(block_addr)
+        tracer = self.tracer
         worst = 0
         for sharer in sorted(entry.sharers):
             if sharer == exclude:
@@ -268,6 +282,8 @@ class MESIProtocol:
             lat += self.noc.core_to_home(sharer, home, MessageType.INV_ACK)
             worst = max(worst, lat)
             self.stats.invalidations += 1
+            if tracer.enabled:
+                tracer.transition(f"L2-{sharer}", block_addr, "S", "I")
             victim = self.l2[sharer].invalidate(block_addr)
             self.l1[sharer].invalidate(block_addr)
             if victim is not None:
@@ -301,10 +317,10 @@ class MESIProtocol:
             latency += self.noc.home_to_core(home, core, MessageType.DATA_E)
             if atype.is_write:
                 self._install_private(core, block_addr, M, mask)
-                entry.state = M
+                entry.set_state(M, self.tracer)
             else:
                 self._install_private(core, block_addr, E, 0)
-                entry.state = E
+                entry.set_state(E, self.tracer)
             entry.owner = core
             entry.sharers.clear()
             return latency
@@ -315,7 +331,7 @@ class MESIProtocol:
                 data_latency = self._fetch_data_at_home(block_addr)
                 data_latency += self.noc.home_to_core(home, core, MessageType.DATA)
                 self._install_private(core, block_addr, M, mask)
-                entry.state = M
+                entry.set_state(M, self.tracer)
                 entry.owner = core
                 entry.sharers.clear()
                 return max(inv_latency, data_latency)
@@ -350,16 +366,21 @@ class MESIProtocol:
                 f"directory says core {owner} owns {block_addr:#x} "
                 "but no private copy exists"
             )
+        tracer = self.tracer
         if atype.is_write:
             # Fwd-GetM: invalidate the owner, transfer ownership.
             latency = self.noc.home_to_core(home, owner, MessageType.FWD_GET_M)
             latency += self.noc.core_to_core(owner, core, MessageType.DATA)
             self.stats.invalidations += 1
+            if tracer.enabled:
+                tracer.transition(
+                    f"L2-{owner}", block_addr, owner_block.state.value, "I"
+                )
             self.l2[owner].invalidate(block_addr)
             self.l1[owner].invalidate(block_addr)
             owner_block.state = I
             self._install_private(core, block_addr, M, mask)
-            entry.state = M
+            entry.set_state(M, tracer)
             entry.owner = core
             entry.sharers.clear()
             return latency
@@ -367,6 +388,10 @@ class MESIProtocol:
         latency = self.noc.home_to_core(home, owner, MessageType.FWD_GET_S)
         latency += self.noc.core_to_core(owner, core, MessageType.DATA)
         self.stats.downgrades += 1
+        if tracer.enabled:
+            tracer.transition(
+                f"L2-{owner}", block_addr, owner_block.state.value, "S"
+            )
         if owner_block.state is M:
             self.noc.core_to_home(owner, home, MessageType.WB_DATA)
             self.stats.writebacks += 1
@@ -374,7 +399,7 @@ class MESIProtocol:
         owner_block.state = S
         owner_block.clear_written()
         self._install_private(core, block_addr, S, 0)
-        entry.state = S
+        entry.set_state(S, tracer)
         entry.sharers = {owner, core}
         entry.owner = None
         return latency
@@ -383,6 +408,9 @@ class MESIProtocol:
     def _install_private(
         self, core: int, block_addr: int, state: CoherenceState, mask: int
     ) -> CacheBlock:
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.transition(f"L2-{core}", block_addr, "I", state.value)
         block = self.l2[core].install(block_addr, state)
         block.clear_written()
         if mask:

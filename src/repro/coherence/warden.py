@@ -46,8 +46,13 @@ class WARDenProtocol(MESIProtocol):
     name = "WARDen"
     supports_ward = True
 
-    def __init__(self, config: MachineConfig, stats: Optional[CoherenceStats] = None):
-        super().__init__(config, stats)
+    def __init__(
+        self,
+        config: MachineConfig,
+        stats: Optional[CoherenceStats] = None,
+        tracer=None,
+    ):
+        super().__init__(config, stats, tracer=tracer)
         self.region_table = RegionTable(capacity=config.max_ward_regions)
         #: total cycles spent by directories reconciling blocks (overlappable)
         self.reconcile_cycles = 0
@@ -59,9 +64,14 @@ class WARDenProtocol(MESIProtocol):
         """Activate a WARD region; returns None when the region CAM is full
         (the addresses then simply stay under normal MESI — always safe)."""
         region = self.region_table.add(start, end)
+        tracer = self.tracer
         if region is not None:
             self.stats.ward_region_adds += 1
             self.stats.count_message(MessageType.REGION_ADD, "intra")
+            if tracer.enabled:
+                tracer.region("add", region.region_id, start, end)
+        elif tracer.enabled:
+            tracer.region("reject", -1, start, end)
         return region
 
     def remove_region(self, region: Optional[WardRegion]) -> int:
@@ -82,16 +92,22 @@ class WARDenProtocol(MESIProtocol):
                 continue  # already evicted/reconciled
             if self.region_table.contains(block_addr):
                 continue  # still covered by an overlapping active region
-            self._reconcile_block(entry)
+            self._reconcile_block(entry, region.region_id)
             reconciled += 1
         cycles = reconciled * self.config.reconcile_cycles_per_block
         self.reconcile_cycles += cycles
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.region(
+                "remove", region.region_id, region.start, region.end,
+                blocks=reconciled, reconcile_cycles=cycles,
+            )
         return cycles
 
     # ------------------------------------------------------------------
     # Reconciliation (§5.2): no sharing / false sharing / true sharing
     # ------------------------------------------------------------------
-    def _reconcile_block(self, entry: DirEntry) -> None:
+    def _reconcile_block(self, entry: DirEntry, region_id: int = -1) -> None:
         """Merge one W block back to the MESI side (§5.2/§6.1).
 
         Every copy's written sectors are written back to the home LLC and
@@ -126,11 +142,13 @@ class WARDenProtocol(MESIProtocol):
             union_mask |= block.written_mask
 
         keep = set()
+        writebacks = 0
         for core, block in copies:
             current = block.written_mask == union_mask
             if block.written_mask:
                 self.noc.core_to_home(core, home, MessageType.RECONCILE)
                 self.stats.writebacks += 1
+                writebacks += 1
                 block.clear_written()
             if current:
                 block.state = S
@@ -145,9 +163,14 @@ class WARDenProtocol(MESIProtocol):
             self.stats.reconciled_shared_blocks += 1
             if true_sharing:
                 self.stats.reconciled_true_sharing_blocks += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.reconcile(
+                entry.addr, region_id, len(copies), true_sharing, writebacks
+            )
         entry.owner = None
         entry.sharers = keep
-        entry.state = S if keep else I
+        entry.set_state(S if keep else I, tracer)
 
     # ------------------------------------------------------------------
     # Directory dispatch: intercept WARD blocks, else defer to MESI
@@ -182,6 +205,9 @@ class WARDenProtocol(MESIProtocol):
             latency = self.noc.home_to_core(self.home(block_addr), core, MessageType.DATA_E)
             entry.sharers.add(core)
             self._register_ward_block(block_addr)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.transition(f"L2-{core}", block_addr, "S", "W")
             block.state = W
             block.mark_written(mask)
             self.stats.ward_accesses += 1
@@ -200,9 +226,14 @@ class WARDenProtocol(MESIProtocol):
             entry.sharers.add(entry.owner)
             owned = self.l2[entry.owner].peek(block_addr)
             if owned is not None:
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.transition(
+                        f"L2-{entry.owner}", block_addr, owned.state.value, "W"
+                    )
                 owned.state = W
         entry.owner = None
-        entry.state = W
+        entry.set_state(W, self.tracer)
         self._register_ward_block(block_addr)
 
     def _register_ward_block(self, block_addr: int) -> None:

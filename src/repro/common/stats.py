@@ -8,11 +8,33 @@ and 10), message traffic by link class (energy model), and WARD bookkeeping
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.common.types import MessageType
+
+#: MessageType lookup by wire name, for manifest round-trips
+_MESSAGE_TYPES_BY_VALUE = {m.value: m for m in MessageType}
+
+#: the plain-integer counters of CoherenceStats (everything but messages)
+_COHERENCE_COUNTERS = (
+    "invalidations",
+    "downgrades",
+    "dram_accesses",
+    "l3_accesses",
+    "l1_accesses",
+    "l2_accesses",
+    "ward_accesses",
+    "total_accesses",
+    "ward_region_adds",
+    "ward_region_removes",
+    "reconciled_blocks",
+    "reconciled_shared_blocks",
+    "reconciled_true_sharing_blocks",
+    "writebacks",
+)
 
 
 class CoherenceStats:
@@ -74,23 +96,32 @@ class CoherenceStats:
 
     def merge(self, other: "CoherenceStats") -> None:
         self.messages.update(other.messages)
-        for attr in (
-            "invalidations",
-            "downgrades",
-            "dram_accesses",
-            "l3_accesses",
-            "l1_accesses",
-            "l2_accesses",
-            "ward_accesses",
-            "total_accesses",
-            "ward_region_adds",
-            "ward_region_removes",
-            "reconciled_blocks",
-            "reconciled_shared_blocks",
-            "reconciled_true_sharing_blocks",
-            "writebacks",
-        ):
+        for attr in _COHERENCE_COUNTERS:
             setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+
+    # ------------------------------------------------------------------
+    # Serialization (JSONL manifests, §"obs" exporters)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict; messages keyed ``"<MessageType>|<link>"``."""
+        out = {attr: getattr(self, attr) for attr in _COHERENCE_COUNTERS}
+        out["messages"] = {
+            f"{mtype.value}|{link}": count
+            for (mtype, link), count in sorted(
+                self.messages.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+            )
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoherenceStats":
+        stats = cls()
+        for attr in _COHERENCE_COUNTERS:
+            setattr(stats, attr, data.get(attr, 0))
+        for key, count in data.get("messages", {}).items():
+            mtype_name, _, link = key.partition("|")
+            stats.messages[(_MESSAGE_TYPES_BY_VALUE[mtype_name], link)] = count
+        return stats
 
 
 @dataclass
@@ -123,6 +154,14 @@ class CoreStats:
         self.steal_attempts += other.steal_attempts
         self.successful_steals += other.successful_steals
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreStats":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
 
 @dataclass
 class EnergyStats:
@@ -148,6 +187,14 @@ class EnergyStats:
             + self.core_dynamic_nj
             + self.core_static_nj
         )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyStats":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
 
 
 @dataclass
@@ -182,3 +229,44 @@ class RunStats:
         if not self.instructions:
             return 0.0
         return self.inv_plus_downgrades / (self.instructions / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Serialization (JSONL manifests): round-trips through from_dict.
+    # The ``derived`` block repeats computed metrics for consumers that
+    # read manifests without this package; from_dict ignores it.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "protocol": self.protocol,
+            "machine": self.machine,
+            "cycles": self.cycles,
+            "num_threads": self.num_threads,
+            "coherence": self.coherence.to_dict(),
+            "cores": self.cores.to_dict(),
+            "energy": self.energy.to_dict(),
+            "derived": {
+                "instructions": self.instructions,
+                "ipc": self.ipc,
+                "inv_plus_downgrades": self.inv_plus_downgrades,
+                "inv_dg_per_kilo_instr": self.inv_dg_per_kilo_instr(),
+                "ward_coverage": self.coherence.ward_coverage,
+                "total_messages": self.coherence.total_messages,
+                "messages_by_link": self.coherence.messages_by_link(),
+                "processor_nj": self.energy.processor_nj,
+                "interconnect_nj": self.energy.interconnect_nj,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        return cls(
+            benchmark=data.get("benchmark", ""),
+            protocol=data.get("protocol", ""),
+            machine=data.get("machine", ""),
+            cycles=data.get("cycles", 0),
+            num_threads=data.get("num_threads", 1),
+            coherence=CoherenceStats.from_dict(data.get("coherence", {})),
+            cores=CoreStats.from_dict(data.get("cores", {})),
+            energy=EnergyStats.from_dict(data.get("energy", {})),
+        )

@@ -124,13 +124,18 @@ class WorkStealingScheduler:
             stats.steal_attempts += 1
             self._touch(thread, self.top_addr[victim], AccessType.LOAD)
             vdeque = self.deques[victim]
+            tracer = machine.tracer
             if vdeque:
                 self._touch(thread, self.top_addr[victim], AccessType.RMW)
                 strand = vdeque.popleft()
                 self.total_ready -= 1
                 stats.successful_steals += 1
+                if tracer.enabled:
+                    tracer.steal(core.clock, thread, victim, True)
                 self._assign(worker, strand)
                 return
+            if tracer.enabled:
+                tracer.steal(core.clock, thread, victim, False)
             core.advance(BACKOFF_MIN)  # brief pause before the next probe
             return
 

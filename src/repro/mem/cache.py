@@ -25,11 +25,14 @@ class SetAssocCache:
         config: CacheConfig,
         name: str = "cache",
         on_evict: Optional[EvictionHook] = None,
+        tracer=None,
     ) -> None:
         config.validate()
         self.config = config
         self.name = name
         self.on_evict = on_evict
+        #: optional :class:`repro.obs.tracer.Tracer` (eviction events)
+        self.tracer = tracer
         self.num_sets = config.num_sets
         self.assoc = config.associativity
         self.block_size = config.block_size
@@ -76,6 +79,18 @@ class SetAssocCache:
             return None
         return block
 
+    def _make_room(self, cset: "OrderedDict[int, CacheBlock]") -> None:
+        """Evict LRU ways until the set has a free way."""
+        while len(cset) >= self.assoc:
+            _, victim = cset.popitem(last=False)
+            self.evictions += 1
+            if victim.state is not CoherenceState.INVALID:
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.eviction(self.name, victim.addr, victim.state.value)
+                if self.on_evict is not None:
+                    self.on_evict(victim)
+
     def install(self, block_addr: int, state: CoherenceState) -> CacheBlock:
         """Insert a block (evicting the LRU way if the set is full)."""
         cset = self._set_for(block_addr)
@@ -84,11 +99,7 @@ class SetAssocCache:
             block.state = state
             cset.move_to_end(block_addr)
             return block
-        while len(cset) >= self.assoc:
-            _, victim = cset.popitem(last=False)
-            self.evictions += 1
-            if self.on_evict is not None and victim.state is not CoherenceState.INVALID:
-                self.on_evict(victim)
+        self._make_room(cset)
         block = CacheBlock(block_addr, state)
         cset[block_addr] = block
         return block
@@ -102,11 +113,7 @@ class SetAssocCache:
             cset[block.addr] = block
             cset.move_to_end(block.addr)
             return block
-        while len(cset) >= self.assoc:
-            _, victim = cset.popitem(last=False)
-            self.evictions += 1
-            if self.on_evict is not None and victim.state is not CoherenceState.INVALID:
-                self.on_evict(victim)
+        self._make_room(cset)
         cset[block.addr] = block
         return block
 

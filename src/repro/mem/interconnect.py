@@ -32,9 +32,13 @@ class LinkClass(enum.Enum):
 class Interconnect:
     """Computes hop latencies and records traffic between topology points."""
 
-    def __init__(self, config: MachineConfig, stats: CoherenceStats) -> None:
+    def __init__(
+        self, config: MachineConfig, stats: CoherenceStats, tracer=None
+    ) -> None:
         self.config = config
         self.stats = stats
+        #: optional :class:`repro.obs.tracer.Tracer` (per-message events)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def link_between_cores(self, core_a: int, core_b: int) -> LinkClass:
@@ -62,6 +66,9 @@ class Interconnect:
     def send(self, mtype: MessageType, link: LinkClass, count: int = 1) -> int:
         """Record ``count`` messages on ``link``; return one-way latency."""
         self.stats.count_message(mtype, link.value, count)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.message(mtype.value, link.value, count)
         return self.latency(link)
 
     def core_to_home(self, core: int, home_socket: int, mtype: MessageType) -> int:

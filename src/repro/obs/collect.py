@@ -1,0 +1,291 @@
+"""Event collectors: sinks that aggregate the tracer's stream in-flight.
+
+Everything here implements the one-method sink protocol (``emit(event)``),
+so collectors compose freely via :class:`MultiSink` and can be handed to
+:meth:`repro.obs.tracer.Tracer.install` directly.
+
+* :class:`RingBufferSink`   — bounded recorder (oldest events evicted) with
+  optional 1-in-N sampling; feeds the Chrome-trace exporter.
+* :class:`PhaseHistogram`   — event counts by kind per fixed-width cycle
+  window ("phase"), showing *when* in the run coherence events cluster.
+* :class:`LatencyHistogram` — log2-bucketed access-latency histogram per
+  access type; feeds the flame-style summary.
+* :class:`RegionProfile`    — per-WARD-region lifetime profile: cycles
+  covered, blocks reconciled, true-sharing ratio (§5.2/§7.2 analysis).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import (
+    AccessEvent,
+    ReconcileEvent,
+    RegionEvent,
+)
+
+
+class MultiSink:
+    """Fan one event stream out to several collectors."""
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events, optionally sampled 1-in-N.
+
+    ``sample_every=1`` records everything; ``sample_every=n`` keeps every
+    n-th event (deterministic, no RNG, so traces are reproducible).
+    ``dropped`` counts events evicted by the capacity bound; ``seen`` counts
+    everything offered (pre-sampling).
+    """
+
+    def __init__(self, capacity: int = 1_000_000, sample_every: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.buffer: deque = deque(maxlen=capacity)
+        self.seen = 0
+        self.dropped = 0
+
+    def emit(self, event) -> None:
+        self.seen += 1
+        if self.sample_every > 1 and self.seen % self.sample_every:
+            return
+        if len(self.buffer) == self.capacity:
+            self.dropped += 1
+        self.buffer.append(event)
+
+    def events(self) -> list:
+        return list(self.buffer)
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+
+class PhaseHistogram:
+    """Event counts by kind inside fixed-width cycle windows.
+
+    A "phase" is ``[k * bin_cycles, (k+1) * bin_cycles)`` of simulated time;
+    the histogram answers "when do the invalidations/reconciliations
+    happen?" without storing the event stream.
+    """
+
+    def __init__(self, bin_cycles: int = 100_000) -> None:
+        if bin_cycles <= 0:
+            raise ValueError("bin_cycles must be positive")
+        self.bin_cycles = bin_cycles
+        #: phase index -> Counter of event kinds
+        self.bins: Dict[int, Counter] = {}
+
+    def emit(self, event) -> None:
+        phase = event.cycle // self.bin_cycles
+        counter = self.bins.get(phase)
+        if counter is None:
+            counter = self.bins[phase] = Counter()
+        counter[event.kind] += 1
+
+    def kinds(self) -> List[str]:
+        seen = set()
+        for counter in self.bins.values():
+            seen.update(counter)
+        return sorted(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "bin_cycles": self.bin_cycles,
+            "phases": {
+                str(phase): dict(counter)
+                for phase, counter in sorted(self.bins.items())
+            },
+        }
+
+    def render(self) -> str:
+        if not self.bins:
+            return "phase histogram: no events"
+        kinds = self.kinds()
+        header = ["phase (cycles)"] + kinds
+        lines = ["  ".join(h.rjust(12) for h in header)]
+        for phase in sorted(self.bins):
+            lo = phase * self.bin_cycles
+            row = [f"{lo}+"] + [str(self.bins[phase].get(k, 0)) for k in kinds]
+            lines.append("  ".join(c.rjust(12) for c in row))
+        return "\n".join(lines)
+
+
+class LatencyHistogram:
+    """Log2-bucketed access-latency histogram per access type."""
+
+    def __init__(self) -> None:
+        #: (atype, bucket) -> count, where bucket b covers [2^(b-1), 2^b)
+        self.buckets: Counter = Counter()
+        self.total_cycles: Counter = Counter()
+        self.total_count: Counter = Counter()
+
+    def emit(self, event) -> None:
+        if type(event) is not AccessEvent:
+            return
+        bucket = event.latency.bit_length()
+        self.buckets[(event.atype, bucket)] += 1
+        self.total_cycles[event.atype] += event.latency
+        self.total_count[event.atype] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": {
+                f"{atype}|<{1 << bucket}": count
+                for (atype, bucket), count in sorted(self.buckets.items())
+            },
+            "total_cycles": dict(self.total_cycles),
+            "total_count": dict(self.total_count),
+        }
+
+    def render(self) -> str:
+        if not self.total_count:
+            return "latency histogram: no accesses"
+        lines = []
+        for atype in sorted(self.total_count):
+            n = self.total_count[atype]
+            cyc = self.total_cycles[atype]
+            lines.append(
+                f"{atype}: {n} accesses, {cyc} cycles "
+                f"(avg {cyc / n:.1f})"
+            )
+            for (a, bucket), count in sorted(self.buckets.items()):
+                if a != atype:
+                    continue
+                lo = 0 if bucket == 0 else 1 << (bucket - 1)
+                hi = (1 << bucket) - 1
+                bar = "#" * max(1, round(count / n * 40))
+                lines.append(f"  {lo:>6}-{hi:<6} {count:>8}  {bar}")
+        return "\n".join(lines)
+
+
+class _RegionRecord:
+    __slots__ = (
+        "region_id", "start", "end", "add_cycle", "remove_cycle",
+        "blocks", "reconcile_cycles", "reconciled", "shared",
+        "true_sharing", "writebacks",
+    )
+
+    def __init__(self, region_id: int, start: int, end: int, add_cycle: int):
+        self.region_id = region_id
+        self.start = start
+        self.end = end
+        self.add_cycle = add_cycle
+        self.remove_cycle: Optional[int] = None
+        self.blocks = 0
+        self.reconcile_cycles = 0
+        self.reconciled = 0
+        self.shared = 0
+        self.true_sharing = 0
+        self.writebacks = 0
+
+    @property
+    def lifetime(self) -> int:
+        if self.remove_cycle is None:
+            return 0
+        return max(self.remove_cycle - self.add_cycle, 0)
+
+
+class RegionProfile:
+    """Per-WARD-region lifetime profile (§4.2 marking in motion).
+
+    For every region this tracks the cycles it was active ("WARD-covered"),
+    how many blocks its removal reconciled, and how many of those showed
+    multi-sharer / true-sharing behaviour — the §5.2 classification.
+    """
+
+    def __init__(self, keep_records: int = 10_000) -> None:
+        self.keep_records = keep_records
+        self._open: Dict[int, _RegionRecord] = {}
+        self.closed: List[_RegionRecord] = []
+        self.rejected = 0
+        self.regions_opened = 0
+        self.regions_closed = 0
+        self.covered_cycles = 0
+        self.blocks_reconciled = 0
+        self.shared_blocks = 0
+        self.true_sharing_blocks = 0
+
+    def emit(self, event) -> None:
+        cls = type(event)
+        if cls is RegionEvent:
+            if event.action == "add":
+                self.regions_opened += 1
+                self._open[event.region_id] = _RegionRecord(
+                    event.region_id, event.start, event.end, event.cycle
+                )
+            elif event.action == "remove":
+                record = self._open.pop(event.region_id, None)
+                if record is None:
+                    return
+                record.remove_cycle = event.cycle
+                record.blocks = event.blocks
+                record.reconcile_cycles = event.reconcile_cycles
+                self.regions_closed += 1
+                self.covered_cycles += record.lifetime
+                if len(self.closed) < self.keep_records:
+                    self.closed.append(record)
+            else:  # "reject": the region CAM was full
+                self.rejected += 1
+        elif cls is ReconcileEvent:
+            self.blocks_reconciled += 1
+            record = self._open.get(event.region_id)
+            if record is not None:
+                record.reconciled += 1
+                record.writebacks += event.writebacks
+            if event.copies > 1:
+                self.shared_blocks += 1
+                if record is not None:
+                    record.shared += 1
+            if event.true_sharing:
+                self.true_sharing_blocks += 1
+                if record is not None:
+                    record.true_sharing += 1
+
+    @property
+    def true_sharing_ratio(self) -> float:
+        if not self.blocks_reconciled:
+            return 0.0
+        return self.true_sharing_blocks / self.blocks_reconciled
+
+    def to_dict(self) -> dict:
+        return {
+            "regions_opened": self.regions_opened,
+            "regions_closed": self.regions_closed,
+            "regions_rejected": self.rejected,
+            "covered_cycles": self.covered_cycles,
+            "blocks_reconciled": self.blocks_reconciled,
+            "shared_blocks": self.shared_blocks,
+            "true_sharing_blocks": self.true_sharing_blocks,
+            "true_sharing_ratio": self.true_sharing_ratio,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"regions opened/closed/rejected : "
+            f"{self.regions_opened}/{self.regions_closed}/{self.rejected}",
+            f"cycles WARD-covered (sum)      : {self.covered_cycles}",
+            f"blocks reconciled              : {self.blocks_reconciled}",
+            f"  with >1 sharer               : {self.shared_blocks}",
+            f"  with true sharing            : {self.true_sharing_blocks} "
+            f"(ratio {self.true_sharing_ratio:.2%})",
+        ]
+        if self.closed:
+            lifetimes = sorted(r.lifetime for r in self.closed)
+            mid = lifetimes[len(lifetimes) // 2]
+            lines.append(
+                f"region lifetime (cycles)       : "
+                f"median {mid}, max {lifetimes[-1]}"
+            )
+        return "\n".join(lines)

@@ -18,11 +18,13 @@ from repro.common.stats import CoreStats
 class CoreModel:
     """Clock + store buffer + instruction counters for one hardware thread."""
 
-    def __init__(self, config: MachineConfig, thread: int) -> None:
+    def __init__(self, config: MachineConfig, thread: int, tracer=None) -> None:
         self.config = config
         self.thread = thread
         self.clock = 0
         self.stats = CoreStats()
+        #: optional :class:`repro.obs.tracer.Tracer` (store-buffer events)
+        self.tracer = tracer
         self._store_buffer: deque = deque()
         self._sb_capacity = config.store_buffer_entries
         self._last_completion = 0
@@ -48,6 +50,12 @@ class CoreModel:
         if len(self._store_buffer) >= self._sb_capacity:
             stall = self._store_buffer[0] - self.clock
             if stall > 0:
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.store_buffer(
+                        self.clock, self.thread, "full", stall,
+                        len(self._store_buffer),
+                    )
                 self.clock += stall
                 self.stats.store_buffer_stall_cycles += stall
             self._drain_store_buffer()
@@ -62,6 +70,12 @@ class CoreModel:
         if self._store_buffer:
             last = self._store_buffer[-1]
             if last > self.clock:
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.store_buffer(
+                        self.clock, self.thread, "fence",
+                        last - self.clock, len(self._store_buffer),
+                    )
                 self.stats.store_buffer_stall_cycles += last - self.clock
                 self.clock = last
             self._store_buffer.clear()

@@ -116,6 +116,14 @@ class Engine:
             op = strand.gen.send(strand.resume_value)
         except StopIteration as stop:
             worker.strand = None
+            tracer = self.machine.tracer
+            if tracer.enabled:
+                tracer.strand(
+                    self.machine.cores[worker.thread].clock,
+                    worker.thread,
+                    "finish",
+                    getattr(strand.task, "task_id", -1),
+                )
             if strand.on_done is not None:
                 strand.on_done(getattr(stop, "value", None), worker)
             return

@@ -10,6 +10,7 @@ from repro.common.stats import RunStats
 from repro.common.types import AccessType
 from repro.coherence.mesi import MESIProtocol
 from repro.coherence.warden import WARDenProtocol
+from repro.obs.tracer import Tracer
 from repro.sim.core import CoreModel
 
 PROTOCOLS = {"mesi": MESIProtocol, "warden": WARDenProtocol}
@@ -41,9 +42,15 @@ class Machine:
             machine=config.name,
             num_threads=config.num_threads,
         )
-        self.protocol = protocol_cls(config, self.run_stats.coherence)
+        #: shared event bus; disabled (one attribute check per hot-path
+        #: site) until a sink is installed via ``machine.tracer.install``
+        self.tracer = Tracer()
+        self.protocol = protocol_cls(
+            config, self.run_stats.coherence, tracer=self.tracer
+        )
         self.cores: List[CoreModel] = [
-            CoreModel(config, t) for t in range(config.num_threads)
+            CoreModel(config, t, tracer=self.tracer)
+            for t in range(config.num_threads)
         ]
         self._brk = ADDRESS_SPACE_BASE
 
@@ -72,14 +79,23 @@ class Machine:
         spin: bool = False,
     ) -> int:
         core = self.config.core_of_thread(thread)
-        latency = self.protocol.access(core, addr, size, atype)
         cm = self.cores[thread]
+        tracer = self.tracer
+        if tracer.enabled:
+            # Stamp the emission context so protocol-internal events carry
+            # the issuing thread's clock without any plumbing of their own.
+            start = cm.clock
+            tracer.cycle = start
+            tracer.thread = thread
+        latency = self.protocol.access(core, addr, size, atype)
         if atype is AccessType.LOAD:
             cm.load(latency, spin=spin)
         elif atype is AccessType.STORE:
             cm.store(latency)
         else:
             cm.rmw(latency)
+        if tracer.enabled:
+            tracer.access(start, thread, atype.value, addr, size, latency)
         return latency
 
     def compute(self, thread: int, instrs: int) -> None:
@@ -104,6 +120,7 @@ class Machine:
         if not self.protocol.supports_ward:
             return None
         self.cores[thread].compute(1)  # the new instruction itself
+        self._stamp_tracer(thread)
         return self.protocol.add_region(start, end)
 
     def remove_ward_region(self, thread: int, region) -> None:
@@ -113,7 +130,15 @@ class Machine:
         if region is None or not self.protocol.supports_ward:
             return
         self.cores[thread].compute(1)
+        self._stamp_tracer(thread)
         self.protocol.remove_region(region)
+
+    def _stamp_tracer(self, thread: int) -> None:
+        """Refresh the tracer's emission context to ``thread``'s clock."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.cycle = self.cores[thread].clock
+            tracer.thread = thread
 
     # ------------------------------------------------------------------
     def finalize(self, makespan: Optional[int] = None) -> RunStats:

@@ -1,7 +1,11 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
+import repro.cli as cli
+from repro.analysis.metrics import ComparisonMetrics
 from repro.cli import build_parser, main
 
 
@@ -41,3 +45,77 @@ class TestCommands:
         assert main(["run", "fib", "--size", "test", "--protocol", "mesi"]) == 0
         out = capsys.readouterr().out
         assert "cycles" in out and "fib" in out
+
+    def test_run_machine_preset(self, capsys):
+        assert main(["run", "fib", "--size", "test", "--machine", "single"]) == 0
+        out = capsys.readouterr().out
+        assert "single-socket" in out
+
+    def test_run_json_matches_text_counters(self, capsys):
+        assert main(["run", "fib", "--size", "test"]) == 0
+        text = capsys.readouterr().out
+        assert main(["run", "fib", "--size", "test", "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["schema"].startswith("warden-repro/run-manifest/")
+        stats = manifest["stats"]
+        assert f"cycles    : {stats['cycles']}" in text
+        coh = stats["coherence"]
+        assert f"inv/dg    : {coh['invalidations']}/{coh['downgrades']}" in text
+        assert "config" in manifest and "meta" in manifest
+
+
+class TestTraceAndProfile:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "fib", "--size", "test",
+                     "--out", str(out_path)]) == 0
+        assert "recorded" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        events = trace["traceEvents"]
+        assert events
+        assert all(
+            "ph" in e and "ts" in e and "pid" in e and "tid" in e
+            for e in events
+        )
+        assert {e["pid"] for e in events} == {1, 2}
+        assert trace["otherData"]["benchmark"] == "fib"
+
+    def test_trace_sampling_thins_the_stream(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "fib", "--size", "test", "--sample", "50",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        seen = int(out.split(" seen")[0].rsplit(": ", 1)[1])
+        recorded = int(out.split(" recorded")[0].rsplit(", ", 1)[1])
+        assert recorded <= seen // 50 + 1
+
+    def test_profile_prints_sections(self, capsys):
+        assert main(["profile", "fib", "--size", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "flame-style" in out
+        assert "WARD region profile" in out
+        assert "access latencies" in out
+        assert "cycle phase" in out
+
+
+class TestFigureJson:
+    def test_figure_json_rows_and_summary(self, capsys, monkeypatch):
+        fake = ComparisonMetrics(
+            benchmark="fib", speedup=1.5, interconnect_savings=10.0,
+            processor_savings=5.0, inv_dg_reduced_per_kilo=12.0,
+            downgrade_reduction_pct=60.0, invalidation_reduction_pct=40.0,
+            ipc_improvement_pct=7.0, ward_coverage=0.5,
+        )
+        monkeypatch.setattr(
+            cli, "_metrics_for", lambda config, names, size: [fake]
+        )
+        assert main(["figure", "fig9", "--size", "test", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"] == "fig9"
+        assert payload["rows"][0]["benchmark"] == "fib"
+        assert payload["rows"][0]["speedup"] == 1.5
+        assert "summary" in payload
+
+    def test_every_figure_has_a_spec(self):
+        from repro.cli import FIGURES, _FIGURE_SPECS
+        assert set(FIGURES) == set(_FIGURE_SPECS)

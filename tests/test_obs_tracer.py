@@ -1,0 +1,161 @@
+"""Tracer/event-bus tests: no-op-when-off, ring buffer, trace schema."""
+
+import json
+
+from repro.analysis.run import run_benchmark
+from repro.common.config import CacheConfig, dual_socket
+from repro.common.stats import CoherenceStats
+from repro.common.types import CoherenceState, MessageType
+from repro.mem.cache import SetAssocCache
+from repro.mem.interconnect import Interconnect, LinkClass
+from repro.obs.collect import RingBufferSink
+from repro.obs.export import chrome_trace
+from repro.obs.tracer import ListSink, NULL_SINK, Tracer
+from repro.sim.machine import Machine
+
+
+class RecordingSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+class TestDisabledTracer:
+    def test_machine_tracer_disabled_by_default(self, mesi):
+        assert mesi.tracer.enabled is False
+        assert mesi.tracer.sink is NULL_SINK
+
+    def test_disabled_sites_emit_nothing(self, config):
+        """With no sink installed, instrumented layers never emit — even if
+        a sink object is attached but ``enabled`` stays False."""
+        tracer = Tracer()
+        spy = RecordingSink()
+        tracer.sink = spy  # attached but NOT enabled (install() not called)
+
+        noc = Interconnect(config, CoherenceStats(), tracer=tracer)
+        noc.send(MessageType.GET_S, LinkClass.INTRA)
+
+        cache = SetAssocCache(CacheConfig(128, 1, 64), "L1-t", tracer=tracer)
+        cache.install(0, CoherenceState.MODIFIED)
+        cache.install(64 * 2, CoherenceState.MODIFIED)  # same set, evicts
+
+        assert spy.events == []
+
+    def test_disabled_run_matches_enabled_run_counters(self, config):
+        """Tracing must observe, never perturb: counters are identical."""
+        from repro.hlpl.runtime import Runtime
+        from repro.bench import BENCHMARKS
+
+        bench = BENCHMARKS["fib"]
+
+        def run(sink):
+            machine = Machine(config, "warden")
+            if sink is not None:
+                machine.tracer.install(sink)
+            rt = Runtime(machine, seed=7)
+            _, stats = rt.run(bench.root_task, bench.workload(size="test", seed=7))
+            return stats
+
+        plain = run(None)
+        traced = run(ListSink())
+        assert plain.cycles == traced.cycles
+        assert plain.instructions == traced.instructions
+        assert plain.coherence.invalidations == traced.coherence.invalidations
+        assert plain.coherence.to_dict() == traced.coherence.to_dict()
+
+    def test_install_uninstall_flips_enabled(self):
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.install(sink)
+        assert tracer.enabled and tracer.sink is sink
+        tracer.message("GetS", "intra")
+        assert len(sink) == 1
+        tracer.uninstall()
+        assert not tracer.enabled and tracer.sink is NULL_SINK
+
+
+class TestRingBufferSink:
+    def test_eviction_at_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit(i)
+        assert len(sink) == 3
+        assert sink.events() == [2, 3, 4]  # oldest evicted first
+        assert sink.dropped == 2
+        assert sink.seen == 5
+
+    def test_sampling_keeps_every_nth(self):
+        sink = RingBufferSink(capacity=100, sample_every=3)
+        for i in range(1, 10):
+            sink.emit(i)
+        # events 3, 6, 9 survive (seen counter multiples of 3)
+        assert sink.events() == [3, 6, 9]
+        assert sink.seen == 9
+
+    def test_rejects_bad_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=1, sample_every=0)
+
+
+class TestChromeTraceSchema:
+    def test_traced_run_produces_valid_chrome_json(self):
+        sink = RingBufferSink(capacity=100_000)
+        config = dual_socket()
+        run_benchmark(
+            "fib", "warden", config, size="test", obs_sink=sink,
+        )
+        assert sink.seen > 0
+        trace = json.loads(json.dumps(chrome_trace(sink.events(), config)))
+        events = trace["traceEvents"]
+        assert events, "trace must not be empty"
+        for ev in events:
+            assert "ph" in ev and "ts" in ev and "pid" in ev and "tid" in ev
+        pids = {ev["pid"] for ev in events}
+        # one process for the hardware threads, one for the coherence track
+        assert len(pids) == 2
+        from repro.obs.export import PID_COHERENCE, PID_THREADS
+
+        thread_tids = {
+            ev["tid"] for ev in events
+            if ev["pid"] == PID_THREADS and ev["ph"] != "M"
+        }
+        assert len(thread_tids) > 1  # per-thread tracks
+        assert any(ev["pid"] == PID_COHERENCE and ev["ph"] != "M"
+                   for ev in events)
+
+    def test_region_slices_are_paired(self):
+        sink = RingBufferSink(capacity=100_000)
+        config = dual_socket()
+        run_benchmark("fib", "warden", config, size="test", obs_sink=sink)
+        trace = chrome_trace(sink.events(), config)
+        slices = [
+            ev for ev in trace["traceEvents"]
+            if ev["name"].startswith("WARD region") and ev["ph"] == "X"
+        ]
+        assert slices, "WARD regions should appear as duration slices"
+        for ev in slices:
+            assert ev["dur"] >= 1
+
+
+class TestInstrumentationCoverage:
+    def test_all_event_kinds_emitted_by_a_warden_run(self, config):
+        """A scheduled WARDen run exercises every instrumented layer."""
+        from repro.hlpl.runtime import Runtime
+        from repro.bench import BENCHMARKS
+
+        machine = Machine(config, "warden")
+        sink = ListSink()
+        machine.tracer.install(sink)
+        bench = BENCHMARKS["fib"]
+        Runtime(machine, seed=42).run(
+            bench.root_task, bench.workload(size="test", seed=42)
+        )
+        kinds = {type(ev).kind for ev in sink.events}
+        assert {"access", "message", "transition", "region",
+                "reconcile", "steal", "strand"} <= kinds

@@ -81,3 +81,55 @@ class TestRunStats:
 
     def test_inv_dg_zero_instructions(self):
         assert RunStats().inv_dg_per_kilo_instr() == 0.0
+
+
+class TestSerialization:
+    def _populated(self) -> RunStats:
+        s = RunStats(benchmark="fib", protocol="warden", machine="dual",
+                     cycles=1234, num_threads=8)
+        s.coherence.invalidations = 7
+        s.coherence.downgrades = 3
+        s.coherence.total_accesses = 100
+        s.coherence.ward_accesses = 40
+        s.coherence.count_message(MessageType.GET_S, "intra", 5)
+        s.coherence.count_message(MessageType.DATA, "socket", 2)
+        s.cores.loads = 50
+        s.cores.stores = 25
+        s.cores.steal_attempts = 4
+        s.energy.cache_nj = 10.5
+        s.energy.network_nj = 2.5
+        return s
+
+    def test_coherence_round_trip(self):
+        s = self._populated().coherence
+        back = CoherenceStats.from_dict(s.to_dict())
+        assert back.to_dict() == s.to_dict()
+        assert back.messages == s.messages
+        assert back.invalidations == 7
+
+    def test_core_and_energy_round_trip(self):
+        s = self._populated()
+        assert CoreStats.from_dict(s.cores.to_dict()) == s.cores
+        assert EnergyStats.from_dict(s.energy.to_dict()) == s.energy
+
+    def test_run_stats_round_trip(self):
+        s = self._populated()
+        d = s.to_dict()
+        back = RunStats.from_dict(d)
+        assert back.to_dict() == d
+        assert back.cycles == 1234
+        assert back.coherence.ward_coverage == pytest.approx(0.4)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        d = self._populated().to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["derived"]["inv_plus_downgrades"] == 10
+        assert d["coherence"]["messages"] == {
+            "Data|socket": 2, "GetS|intra": 5,
+        }
+
+    def test_from_dict_ignores_unknown_fields(self):
+        back = CoreStats.from_dict({"loads": 3, "not_a_field": 9})
+        assert back.loads == 3
