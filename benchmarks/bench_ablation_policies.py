@@ -19,14 +19,16 @@ from repro.hlpl.policy import MarkingPolicy
 SUBSET = ["primes", "msort", "make_array", "grep", "suffix-array", "tokens"]
 
 
-def test_ablation_marking_policies(benchmark, size):
+def test_ablation_marking_policies(benchmark, size, jobs):
     config = dual_socket()
 
     def run():
         out = {}
         for policy in MarkingPolicy:
             metrics = [
-                compare_multi(run_pairs(name, config, size=size, policy=policy))
+                compare_multi(
+                    run_pairs(name, config, size=size, policy=policy, jobs=jobs)
+                )
                 for name in SUBSET
             ]
             out[policy] = metrics

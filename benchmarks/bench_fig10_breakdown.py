@@ -6,8 +6,8 @@ from benchmarks.conftest import emit, once
 from repro.analysis.tables import figure10
 
 
-def test_fig10_downgrade_invalidation_breakdown(benchmark, size):
-    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+def test_fig10_downgrade_invalidation_breakdown(benchmark, size, jobs):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size, jobs))
     emit("fig10", figure10(metrics))
 
     for m in metrics:

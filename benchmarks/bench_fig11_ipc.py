@@ -6,8 +6,8 @@ from repro.analysis.metrics import mean
 from repro.analysis.tables import figure11
 
 
-def test_fig11_ipc_improvement(benchmark, size):
-    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+def test_fig11_ipc_improvement(benchmark, size, jobs):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size, jobs))
     emit("fig11", figure11(metrics))
 
     if size == "test":

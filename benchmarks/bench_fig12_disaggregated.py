@@ -12,12 +12,12 @@ from repro.bench import DISAGGREGATED_SUBSET
 from repro.common.config import disaggregated
 
 
-def test_fig12_disaggregated(benchmark, size):
+def test_fig12_disaggregated(benchmark, size, jobs):
     config = disaggregated()
 
     def run():
         return [
-            compare_multi(run_pairs(name, config, size=size))
+            compare_multi(run_pairs(name, config, size=size, jobs=jobs))
             for name in DISAGGREGATED_SUBSET
         ]
 

@@ -8,12 +8,12 @@ from repro.bench import PAPER_ORDER
 from repro.common.config import single_socket
 
 
-def test_fig7_single_socket(benchmark, size):
+def test_fig7_single_socket(benchmark, size, jobs):
     config = single_socket()
 
     def run():
         return [
-            compare_multi(run_pairs(name, config, size=size))
+            compare_multi(run_pairs(name, config, size=size, jobs=jobs))
             for name in PAPER_ORDER
         ]
 

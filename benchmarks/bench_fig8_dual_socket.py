@@ -12,16 +12,16 @@ from repro.bench import PAPER_ORDER
 from repro.common.config import dual_socket
 
 
-def dual_socket_metrics(size: str):
+def dual_socket_metrics(size: str, jobs: int = 1):
     config = dual_socket()
     return [
-        compare_multi(run_pairs(name, config, size=size))
+        compare_multi(run_pairs(name, config, size=size, jobs=jobs))
         for name in PAPER_ORDER
     ]
 
 
-def test_fig8_dual_socket(benchmark, size):
-    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+def test_fig8_dual_socket(benchmark, size, jobs):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size, jobs))
     emit(
         "fig8",
         speedup_energy_figure(

@@ -18,8 +18,8 @@ def pearson(xs, ys):
     return cov / (vx * vy) if vx and vy else 0.0
 
 
-def test_fig9_reduction_vs_speedup(benchmark, size):
-    metrics = once(benchmark, lambda: dual_socket_metrics(size))
+def test_fig9_reduction_vs_speedup(benchmark, size, jobs):
+    metrics = once(benchmark, lambda: dual_socket_metrics(size, jobs))
     emit("fig9", figure9(metrics))
 
     reductions = [m.inv_dg_reduced_per_kilo for m in metrics]

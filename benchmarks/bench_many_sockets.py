@@ -15,14 +15,14 @@ from repro.common.config import dual_socket, many_socket, single_socket
 SUBSET = ["grep", "msort"]
 
 
-def test_many_socket_scaling(benchmark, size):
+def test_many_socket_scaling(benchmark, size, jobs):
     configs = [single_socket(), dual_socket(), many_socket(4)]
 
     def run():
         rows = []
         for config in configs:
             metrics = [
-                compare_multi(run_pairs(name, config, size=size))
+                compare_multi(run_pairs(name, config, size=size, jobs=jobs))
                 for name in SUBSET
             ]
             rows.append(

@@ -5,9 +5,16 @@ it (visible with ``pytest -s``).  Figures 8-11 share one set of dual-socket
 simulations through the in-process result cache, so the whole suite runs the
 expensive simulations only once.
 
-Environment knob: ``REPRO_BENCH_SIZE`` (test | small | default) selects the
-input scale; "default" reproduces the reported numbers, "test" is a fast
-smoke run.
+Environment knobs:
+
+- ``REPRO_BENCH_SIZE`` (test | small | default) selects the input scale;
+  "default" reproduces the reported numbers, "test" is a fast smoke run.
+- ``REPRO_BENCH_JOBS`` (int, default 1) fans the (protocol x seed) run
+  matrix behind each figure out over that many worker processes; results
+  are bit-identical to a serial run.
+- ``REPRO_DISK_CACHE`` (directory path; "1" for the default
+  ``.warden-cache/``) installs the persistent result cache for the whole
+  session, so re-running the harnesses skips already-simulated runs.
 """
 
 from __future__ import annotations
@@ -24,9 +31,34 @@ def bench_size() -> str:
     return os.environ.get("REPRO_BENCH_SIZE", "default")
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 @pytest.fixture(scope="session")
 def size() -> str:
     return bench_size()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    return bench_jobs()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _disk_cache():
+    """Honour REPRO_DISK_CACHE for the whole benchmark session."""
+    from repro.analysis.pool import DEFAULT_CACHE_DIR, DiskCache
+    from repro.analysis.run import set_disk_cache
+
+    knob = os.environ.get("REPRO_DISK_CACHE", "")
+    if not knob or knob == "0":
+        yield
+        return
+    root = DEFAULT_CACHE_DIR if knob == "1" else knob
+    previous = set_disk_cache(DiskCache(root))
+    yield
+    set_disk_cache(previous)
 
 
 def emit(name: str, text: str) -> None:

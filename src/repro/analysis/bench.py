@@ -1,0 +1,166 @@
+"""Simulator throughput benchmark: wall-clock / steps-per-second baselines.
+
+``warden-repro bench`` runs a fixed suite of uncached simulations, times
+them, and emits a ``BENCH_*.json`` report.  The simulated work per run
+(instructions, cycles) is deterministic, so ``steps_per_second`` —
+simulated instructions retired per wall-clock second — is a clean
+throughput metric for the simulator itself: regressions in the engine or
+protocol hot paths show up directly, independent of which figures are
+being regenerated.
+
+A committed report doubles as a regression baseline:
+:func:`compare_to_baseline` checks the aggregate throughput ratio against
+a tolerance (CI uses 30%).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.run import run_benchmark
+from repro.common.config import MachineConfig, dual_socket
+
+BENCH_SCHEMA = 1
+
+#: (benchmark, size) rows; every row runs under both protocols.
+#: The quick suite is sized for CI smoke runs (a few seconds); the full
+#: suite exercises more benchmarks at the "small" inputs.
+QUICK_SUITE: List[Tuple[str, str]] = [
+    ("fib", "small"),
+    ("primes", "small"),
+    ("msort", "small"),
+    ("tokens", "test"),
+    ("grep", "test"),
+]
+
+FULL_SUITE: List[Tuple[str, str]] = QUICK_SUITE + [
+    ("dedup", "small"),
+    ("nqueens", "small"),
+    ("quickhull", "small"),
+    ("suffix-array", "small"),
+    ("make_array", "small"),
+]
+
+
+def run_bench_suite(
+    quick: bool = False,
+    config: Optional[MachineConfig] = None,
+    repeats: int = 1,
+) -> Dict:
+    """Time the bench suite; return the report dict (see BENCH_SCHEMA).
+
+    Every run bypasses both caches — the point is to measure simulation,
+    not cache lookups.  With ``repeats > 1`` each row is run that many
+    times and the *fastest* wall-clock is kept (standard noise floor).
+    """
+    config = config if config is not None else dual_socket()
+    suite = QUICK_SUITE if quick else FULL_SUITE
+    runs = []
+    for name, size in suite:
+        for protocol in ("mesi", "warden"):
+            best_wall = None
+            result = None
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                result = run_benchmark(
+                    name,
+                    protocol,
+                    config,
+                    size=size,
+                    use_cache=False,
+                    use_disk_cache=False,
+                )
+                wall = time.perf_counter() - t0
+                if best_wall is None or wall < best_wall:
+                    best_wall = wall
+            stats = result.stats
+            runs.append(
+                {
+                    "benchmark": name,
+                    "protocol": result.protocol,
+                    "size": size,
+                    "wall_s": best_wall,
+                    "instructions": stats.instructions,
+                    "cycles": stats.cycles,
+                    "steps_per_second": stats.instructions / best_wall
+                    if best_wall
+                    else 0.0,
+                }
+            )
+    total_wall = sum(r["wall_s"] for r in runs)
+    total_instrs = sum(r["instructions"] for r in runs)
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "quick" if quick else "full",
+        "machine": config.name,
+        "runs": runs,
+        "totals": {
+            "wall_s": total_wall,
+            "instructions": total_instrs,
+            "steps_per_second": total_instrs / total_wall if total_wall else 0.0,
+        },
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+    }
+
+
+def render_report(report: Dict) -> str:
+    """Human-readable table for one bench report."""
+    lines = [
+        f"bench suite: {report['suite']} on {report['machine']} "
+        f"({report['meta']['python']})",
+        f"{'benchmark':<14} {'protocol':<8} {'size':<8} "
+        f"{'wall (s)':>9} {'instrs':>10} {'steps/s':>12}",
+    ]
+    for r in report["runs"]:
+        lines.append(
+            f"{r['benchmark']:<14} {r['protocol']:<8} {r['size']:<8} "
+            f"{r['wall_s']:>9.3f} {r['instructions']:>10} "
+            f"{r['steps_per_second']:>12.0f}"
+        )
+    totals = report["totals"]
+    lines.append(
+        f"{'TOTAL':<14} {'':<8} {'':<8} {totals['wall_s']:>9.3f} "
+        f"{totals['instructions']:>10} {totals['steps_per_second']:>12.0f}"
+    )
+    return "\n".join(lines)
+
+
+def write_report(path, report: Dict) -> None:
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_report(path) -> Dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def compare_to_baseline(
+    report: Dict, baseline: Dict, max_regression: float = 0.30
+) -> Tuple[bool, str]:
+    """Check aggregate steps/second against a baseline report.
+
+    Returns ``(ok, message)`` — ``ok`` is False when throughput dropped by
+    more than ``max_regression`` (e.g. 0.30 = 30%) versus the baseline.
+    """
+    current = report["totals"]["steps_per_second"]
+    reference = baseline["totals"]["steps_per_second"]
+    if reference <= 0:
+        return True, "baseline has no throughput data; skipping comparison"
+    ratio = current / reference
+    message = (
+        f"throughput {current:,.0f} steps/s vs baseline {reference:,.0f} "
+        f"steps/s ({ratio:.2f}x, tolerance -{max_regression:.0%})"
+    )
+    if ratio < 1.0 - max_regression:
+        return False, "REGRESSION: " + message
+    return True, "ok: " + message

@@ -1,0 +1,272 @@
+"""Parallel run fan-out and the persistent on-disk result cache.
+
+The (benchmark x protocol x seed) matrix behind every figure harness is
+embarrassingly parallel: each simulation is a deterministic, isolated
+process-sized unit of work.  :func:`run_matrix` fans the matrix out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges results in task
+order, so the output is bit-identical to a serial sweep.
+
+:class:`DiskCache` makes the sweep incremental across invocations: results
+live in ``.warden-cache/`` keyed by a content hash of the *full*
+:class:`~repro.common.config.MachineConfig`, the benchmark coordinates
+(name/size/seed/policy/check_ward), and a fingerprint of the simulator
+source itself — editing any file under ``repro/`` invalidates every entry,
+so a stale cache can never masquerade as a fresh simulation.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+import repro
+from repro.common.config import MachineConfig
+from repro.common.stats import RunStats
+from repro.hlpl.policy import MarkingPolicy
+
+#: default location of the persistent result cache (relative to the cwd)
+DEFAULT_CACHE_DIR = ".warden-cache"
+
+#: bump when the cache payload layout changes (old entries fall back to re-run)
+CACHE_SCHEMA = 1
+
+_code_fingerprint: Optional[str] = None
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Content hash of the *entire* machine configuration.
+
+    Unlike keying on ``config.name``, two differently-tuned configs can
+    never alias: every field (cache geometries, latencies, energy model,
+    protocol knobs) participates in the hash.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return _sha256(payload.encode("utf-8"))
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file (cached per process).
+
+    Any edit to the simulator invalidates previously cached results —
+    correctness first, incrementality second.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def _reset_code_fingerprint() -> None:
+    """Test hook: forget the cached per-process code fingerprint."""
+    global _code_fingerprint
+    _code_fingerprint = None
+
+
+# ----------------------------------------------------------------------
+# Task descriptions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One (benchmark, protocol, config, size, seed, policy) simulation."""
+
+    benchmark: str
+    protocol: str
+    config: MachineConfig
+    size: str = "default"
+    seed: int = 42
+    policy: MarkingPolicy = MarkingPolicy.FULL
+    check_ward: bool = False
+
+
+def task_fingerprint(task: RunTask, code: Optional[str] = None) -> str:
+    """Content-addressed cache key for one simulation run."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "benchmark": task.benchmark,
+            "protocol": task.protocol,
+            "size": task.size,
+            "seed": task.seed,
+            "policy": task.policy.value,
+            "check_ward": task.check_ward,
+            "config": dataclasses.asdict(task.config),
+            "code": code if code is not None else code_fingerprint(),
+        },
+        sort_keys=True,
+    )
+    return _sha256(payload.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Persistent result cache
+# ----------------------------------------------------------------------
+
+
+class DiskCache:
+    """Content-addressed on-disk store of :class:`BenchResult` payloads.
+
+    One JSON file per entry under ``root``; writes are atomic
+    (temp file + rename), loads tolerate missing, truncated, corrupted,
+    or schema-mismatched entries by falling back to a re-run.
+    """
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: str):
+        """Return the cached BenchResult for ``fingerprint``, or None."""
+        from repro.analysis.run import BenchResult
+
+        path = self.path_for(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["schema"] != CACHE_SCHEMA:
+                raise ValueError(f"cache schema {payload['schema']}")
+            result = BenchResult(
+                benchmark=payload["benchmark"],
+                protocol=payload["protocol"],
+                machine=payload["machine"],
+                size=payload["size"],
+                stats=RunStats.from_dict(payload["stats"]),
+                result=pickle.loads(base64.b64decode(payload["result"])),
+                ward_checked=payload["ward_checked"],
+            )
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted / stale / unreadable entry: evict it, re-run.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, fingerprint: str, result) -> None:
+        """Persist ``result`` under ``fingerprint`` (atomic, last-wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "fingerprint": fingerprint,
+                "benchmark": result.benchmark,
+                "protocol": result.protocol,
+                "machine": result.machine,
+                "size": result.size,
+                "ward_checked": result.ward_checked,
+                "stats": result.stats.to_dict(),
+                "result": base64.b64encode(
+                    pickle.dumps(result.result, protocol=pickle.HIGHEST_PROTOCOL)
+                ).decode("ascii"),
+            },
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path_for(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# The process-pool fan-out
+# ----------------------------------------------------------------------
+
+
+def _execute_task(task: RunTask, cache_dir: Optional[str] = None):
+    """Run one task in the current process (pool worker entry point)."""
+    from repro.analysis import run as run_mod
+
+    previous = run_mod.get_disk_cache()
+    if cache_dir is not None:
+        run_mod.set_disk_cache(DiskCache(cache_dir))
+    try:
+        return run_mod.run_benchmark(
+            task.benchmark,
+            task.protocol,
+            task.config,
+            size=task.size,
+            seed=task.seed,
+            policy=task.policy,
+            check_ward=task.check_ward,
+        )
+    finally:
+        if cache_dir is not None:
+            run_mod.set_disk_cache(previous)
+
+
+def run_matrix(
+    tasks: Iterable[RunTask],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List:
+    """Execute a run matrix, ``jobs`` processes wide.
+
+    Results come back in task order regardless of completion order, so a
+    parallel sweep merges deterministically — and, because every simulation
+    is seeded and isolated, each ``RunStats`` is bit-identical to what the
+    serial path would produce.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_execute_task(task, cache_dir) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_task, tasks, [cache_dir] * len(tasks)))

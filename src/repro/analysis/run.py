@@ -2,12 +2,17 @@
 
 Figures 8, 9, 10, and 11 all derive from the same dual-socket simulations;
 the in-process cache makes the per-figure harnesses share one set of runs.
+Both that cache and the optional persistent :class:`DiskCache` are keyed by
+:func:`~repro.analysis.pool.task_fingerprint` — a content hash of the full
+machine config, the run coordinates, and the simulator source — so two
+differently-tuned configs can never alias, and editing the simulator
+invalidates every stale entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench import BENCHMARKS
 from repro.common.config import MachineConfig
@@ -18,6 +23,7 @@ from repro.hlpl.policy import MarkingPolicy
 from repro.hlpl.runtime import Runtime
 from repro.sim.machine import Machine
 from repro.verify.ward_checker import WardChecker
+from repro.analysis.pool import DiskCache, RunTask, run_matrix, task_fingerprint
 
 
 class ResultMismatchError(ReproError):
@@ -35,11 +41,36 @@ class BenchResult:
     ward_checked: bool = False
 
 
-_CACHE: Dict[Tuple, BenchResult] = {}
+_CACHE: Dict[str, BenchResult] = {}
+
+#: process-wide persistent result cache; None disables disk caching
+_DISK_CACHE: Optional[DiskCache] = None
 
 
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+def set_disk_cache(cache: Optional[DiskCache]) -> Optional[DiskCache]:
+    """Install (or, with None, remove) the persistent result cache.
+
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _DISK_CACHE
+    previous = _DISK_CACHE
+    _DISK_CACHE = cache
+    return previous
+
+
+def get_disk_cache() -> Optional[DiskCache]:
+    return _DISK_CACHE
+
+
+def _protocol_key(protocol) -> str:
+    """Stable cache-key spelling for a protocol name or class."""
+    if isinstance(protocol, str):
+        return protocol.lower()
+    return f"{protocol.__module__}.{protocol.__qualname__}"
 
 
 def run_benchmark(
@@ -52,6 +83,7 @@ def run_benchmark(
     check_ward: bool = False,
     check_result: bool = True,
     use_cache: bool = True,
+    use_disk_cache: bool = True,
     obs_sink=None,
 ) -> BenchResult:
     """Simulate one benchmark run; verify its result against the reference.
@@ -59,14 +91,32 @@ def run_benchmark(
     ``obs_sink`` installs an observability sink (see :mod:`repro.obs`) on
     the machine's tracer for the duration of the run; traced runs bypass
     the result cache (a cached result has no event stream to replay).
+    ``use_disk_cache=False`` skips the persistent cache (when one is
+    installed via :func:`set_disk_cache`) without disturbing the
+    in-process cache.
     """
-    key = (name, protocol, config.name, config.num_sockets,
-           config.cores_per_socket, config.disaggregated, size, seed,
-           policy.value, check_ward)
+    task = RunTask(
+        benchmark=name,
+        protocol=_protocol_key(protocol),
+        config=config,
+        size=size,
+        seed=seed,
+        policy=policy,
+        check_ward=check_ward,
+    )
+    key = task_fingerprint(task)
     if obs_sink is not None:
         use_cache = False
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    disk = _DISK_CACHE if (use_cache and use_disk_cache) else None
+    if use_cache:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
+        if disk is not None:
+            hit = disk.load(key)
+            if hit is not None:
+                _CACHE[key] = hit
+                return hit
 
     bench = BENCHMARKS[name]
     workload = bench.workload(size=size, seed=seed)
@@ -99,6 +149,8 @@ def run_benchmark(
     )
     if use_cache:
         _CACHE[key] = out
+        if disk is not None:
+            disk.store(key, out)
     return out
 
 
@@ -125,8 +177,42 @@ def run_pairs(
     size: str = "default",
     seeds=FIGURE_SEEDS,
     policy: MarkingPolicy = MarkingPolicy.FULL,
-):
-    """Run MESI/WARDen pairs across several seeds (for figure harnesses)."""
+    jobs: int = 1,
+) -> List[Tuple[BenchResult, BenchResult]]:
+    """Run MESI/WARDen pairs across several seeds (for figure harnesses).
+
+    With ``jobs > 1`` the (protocol x seed) matrix fans out over a process
+    pool (see :mod:`repro.analysis.pool`); results merge deterministically
+    and are bit-identical to the serial path, land in the in-process cache
+    exactly as serial runs would, and flow through the persistent disk
+    cache when one is installed.
+    """
+    if jobs > 1:
+        tasks = [
+            RunTask(
+                benchmark=name,
+                protocol=proto,
+                config=config,
+                size=size,
+                seed=seed,
+                policy=policy,
+            )
+            for seed in seeds
+            for proto in ("mesi", "warden")
+        ]
+        keys = [task_fingerprint(task) for task in tasks]
+        todo = [
+            (task, key) for task, key in zip(tasks, keys) if key not in _CACHE
+        ]
+        if todo:
+            cache_dir = str(_DISK_CACHE.root) if _DISK_CACHE is not None else None
+            results = run_matrix(
+                [task for task, _ in todo], jobs=jobs, cache_dir=cache_dir
+            )
+            for (_, key), result in zip(todo, results):
+                _CACHE[key] = result
+        paired = iter(keys)
+        return [(_CACHE[next(paired)], _CACHE[next(paired)]) for _ in seeds]
     return [
         run_pair(name, config, size=size, seed=seed, policy=policy)
         for seed in seeds

@@ -6,12 +6,18 @@ Usage (after ``pip install -e .``)::
     warden-repro table1                     # Sniper-validation ping-pong
     warden-repro figure fig7 [--size small] # single-socket speedup/energy
     warden-repro figure fig8 --json         # dual socket, machine-readable
+    warden-repro figure fig8 --jobs 4       # parallel (protocol x seed) matrix
     warden-repro figure fig9|fig10|fig11    # dual-socket analysis figures
     warden-repro figure fig12               # disaggregated
     warden-repro run primes --protocol warden --machine dual [--json]
     warden-repro trace fib --size test --out trace.json   # Perfetto trace
     warden-repro profile fib --size test    # flame summary + region profile
+    warden-repro bench --quick              # simulator throughput baseline
     warden-repro area                       # §6.1 CACTI estimates
+
+``figure`` and ``run`` read and write a persistent result cache under
+``.warden-cache/`` (keyed by config + code content hashes); disable with
+``--no-disk-cache``.
 """
 
 from __future__ import annotations
@@ -22,8 +28,16 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.analysis.bench import (
+    compare_to_baseline,
+    load_report,
+    render_report,
+    run_bench_suite,
+    write_report,
+)
 from repro.analysis.metrics import compare_multi, summarize
-from repro.analysis.run import run_benchmark, run_pairs
+from repro.analysis.pool import DEFAULT_CACHE_DIR, DiskCache
+from repro.analysis.run import run_benchmark, run_pairs, set_disk_cache
 from repro.analysis.tables import (
     figure9,
     figure10,
@@ -64,9 +78,18 @@ def _machine_config(args):
     return MACHINES[args.machine]()
 
 
-def _metrics_for(config, names: List[str], size: str):
+def _configure_disk_cache(args) -> None:
+    """Install the persistent result cache unless ``--no-disk-cache``."""
+    if getattr(args, "no_disk_cache", False):
+        set_disk_cache(None)
+    else:
+        set_disk_cache(DiskCache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR)))
+
+
+def _metrics_for(config, names: List[str], size: str, jobs: int = 1):
     return [
-        compare_multi(run_pairs(name, config, size=size)) for name in names
+        compare_multi(run_pairs(name, config, size=size, jobs=jobs))
+        for name in names
     ]
 
 
@@ -111,8 +134,9 @@ _FIGURE_SPECS = {
 
 
 def cmd_figure(args) -> int:
+    _configure_disk_cache(args)
     config_fn, names_fn, renderer = _FIGURE_SPECS[args.figure]
-    metrics = _metrics_for(config_fn(), names_fn(), args.size)
+    metrics = _metrics_for(config_fn(), names_fn(), args.size, jobs=args.jobs)
     if args.json:
         print(json.dumps({
             "figure": args.figure,
@@ -126,6 +150,7 @@ def cmd_figure(args) -> int:
 
 
 def cmd_run(args) -> int:
+    _configure_disk_cache(args)
     config = _machine_config(args)
     result = run_benchmark(
         args.benchmark,
@@ -215,6 +240,20 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    report = run_bench_suite(quick=args.quick, repeats=args.repeats)
+    write_report(args.out, report)
+    print(render_report(report))
+    print(f"\nreport written to {args.out}")
+    if args.baseline:
+        ok, message = compare_to_baseline(
+            report, load_report(args.baseline), args.max_regress
+        )
+        print(message)
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_area(_args) -> int:
     cfg = dual_socket()
     print(f"byte-sectoring area overhead : {sectoring_area_overhead():.1%} "
@@ -229,6 +268,13 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return value
+
+
+def _add_cache_args(parser) -> None:
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="do not read or write the persistent result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="persistent cache directory (default: %(default)s)")
 
 
 def _add_bench_args(parser, default_protocol: str = "warden") -> None:
@@ -261,13 +307,35 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("test", "small", "default"))
     pf.add_argument("--json", action="store_true",
                     help="emit machine-readable JSON instead of the table")
+    pf.add_argument("--jobs", type=_positive_int, default=1,
+                    help="run the (protocol x seed) matrix over N processes")
+    _add_cache_args(pf)
     pf.set_defaults(func=cmd_figure)
 
     pr = sub.add_parser("run", help="run one benchmark")
     _add_bench_args(pr)
     pr.add_argument("--json", action="store_true",
                     help="emit a JSONL run manifest instead of text")
+    _add_cache_args(pr)
     pr.set_defaults(func=cmd_run)
+
+    pb = sub.add_parser(
+        "bench",
+        help="time the simulator itself; emit a BENCH_*.json throughput report",
+    )
+    pb.add_argument("--quick", action="store_true",
+                    help="CI smoke suite (seconds) instead of the full suite")
+    pb.add_argument("--repeats", type=_positive_int, default=1,
+                    help="time each row N times, keep the fastest")
+    pb.add_argument("--out", default="BENCH_latest.json",
+                    help="report output path (default: %(default)s)")
+    pb.add_argument("--baseline", default=None,
+                    help="compare against a committed BENCH_*.json; exit 1 "
+                         "when steps/second regresses past --max-regress")
+    pb.add_argument("--max-regress", type=float, default=0.30,
+                    help="tolerated fractional throughput drop "
+                         "(default: %(default)s)")
+    pb.set_defaults(func=cmd_bench)
 
     pt = sub.add_parser(
         "trace", help="record a coherence event trace (Chrome trace JSON)"

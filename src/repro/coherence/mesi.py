@@ -25,7 +25,6 @@ from repro.common.types import (
     AccessType,
     CoherenceState,
     MessageType,
-    block_of,
     sector_mask,
 )
 from repro.coherence.directory import Directory, DirEntry
@@ -55,6 +54,11 @@ class MESIProtocol:
     ):
         self.config = config
         self.stats = stats if stats is not None else CoherenceStats()
+        # hoisted constants for the access hot path
+        self._block_size = config.block_size
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l2.latency
+        self._num_sockets = config.num_sockets
         #: event bus shared with the machine; a standalone (disabled) one
         #: when the protocol is constructed directly
         self.tracer = tracer if tracer is not None else Tracer()
@@ -96,7 +100,8 @@ class MESIProtocol:
         home = self._page_homes.get(block_addr >> self.PAGE_SHIFT)
         if home is not None:
             return home
-        return self.config.home_socket(block_addr)
+        # inlined config.home_socket (hot: several calls per transaction)
+        return (block_addr // self._block_size) % self._num_sockets
 
     PAGE_SHIFT = 6  # block-granularity placement (padded runtime words
     # would otherwise inherit a neighbour's 4 KB page home)
@@ -194,46 +199,45 @@ class MESIProtocol:
     # ------------------------------------------------------------------
     def access(self, core: int, addr: int, size: int, atype: AccessType) -> int:
         """Perform one memory access; return its latency in cycles."""
-        bs = self.config.block_size
-        block_addr = block_of(addr, bs)
-        mask = sector_mask(addr, size, bs) if atype.is_write else 0
-        self.stats.total_accesses += 1
+        bs = self._block_size
+        block_addr = addr - (addr % bs)
+        is_load = atype is AccessType.LOAD
+        mask = 0 if is_load else sector_mask(addr, size, bs)
+        stats = self.stats
+        stats.total_accesses += 1
 
-        latency = self.config.l1.latency
+        latency = self._l1_latency
         block = self.l1[core].lookup(block_addr)
         if block is None:
-            latency += self.config.l2.latency
+            latency += self._l2_latency
             block = self.l2[core].lookup(block_addr)
             if block is not None:
                 self.l1[core].install_block(block)
 
         if block is not None:
-            if self._permitted(block.state, atype):
-                self._complete_local(block, atype, mask)
+            state = block.state
+            if is_load:
+                # Read-hit fast path: every valid private state grants read,
+                # so no permission dispatch and no messages are needed.
+                if state is W:
+                    stats.ward_accesses += 1
                 return latency
-            if atype.is_write and block.state is S:
+            if state is M or state is W or state is E:
+                if state is W:
+                    stats.ward_accesses += 1
+                elif state is E:
+                    block.state = M  # silent E -> M upgrade
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.transition("private", block.addr, "E", "M")
+                block.mark_written(mask)
+                return latency
+            if state is S:
                 return latency + self._upgrade(core, block_addr, block, mask)
             raise ProtocolError(
-                f"unexpected private state {block.state} for {atype}"
+                f"unexpected private state {state} for {atype}"
             )
         return latency + self._miss(core, block_addr, atype, mask)
-
-    @staticmethod
-    def _permitted(state: CoherenceState, atype: AccessType) -> bool:
-        if atype.is_write:
-            return state.grants_write
-        return state.grants_read
-
-    def _complete_local(self, block: CacheBlock, atype: AccessType, mask: int) -> None:
-        if block.state is W:
-            self.stats.ward_accesses += 1
-        if atype.is_write:
-            if block.state is E:
-                block.state = M  # silent E -> M upgrade
-                tracer = self.tracer
-                if tracer.enabled:
-                    tracer.transition("private", block.addr, "E", "M")
-            block.mark_written(mask)
 
     # ------------------------------------------------------------------
     # Store upgrade: private S copy, needs M

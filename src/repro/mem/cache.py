@@ -36,6 +36,16 @@ class SetAssocCache:
         self.num_sets = config.num_sets
         self.assoc = config.associativity
         self.block_size = config.block_size
+        # Block sizes are powers of two in every paper configuration, so the
+        # divide in set indexing becomes a shift; when the set count is also
+        # a power of two the modulo becomes a mask.  -1 marks "not a power
+        # of two, use the slow arithmetic".
+        bs = config.block_size
+        self._block_shift = bs.bit_length() - 1 if bs & (bs - 1) == 0 else -1
+        nsets = self.num_sets
+        self._set_mask = (
+            nsets - 1 if self._block_shift >= 0 and nsets & (nsets - 1) == 0 else -1
+        )
         self._sets: Dict[int, "OrderedDict[int, CacheBlock]"] = {}
         self.hits = 0
         self.misses = 0
@@ -43,6 +53,11 @@ class SetAssocCache:
 
     # ------------------------------------------------------------------
     def set_index(self, block_addr: int) -> int:
+        mask = self._set_mask
+        if mask >= 0:
+            return (block_addr >> self._block_shift) & mask
+        if self._block_shift >= 0:
+            return (block_addr >> self._block_shift) % self.num_sets
         return (block_addr // self.block_size) % self.num_sets
 
     def _set_for(self, block_addr: int) -> "OrderedDict[int, CacheBlock]":
@@ -56,7 +71,12 @@ class SetAssocCache:
     # ------------------------------------------------------------------
     def lookup(self, block_addr: int, touch: bool = True) -> Optional[CacheBlock]:
         """Return the block if present (and valid), refreshing LRU order."""
-        cset = self._sets.get(self.set_index(block_addr))
+        mask = self._set_mask
+        if mask >= 0:  # inlined set_index (hot path)
+            idx = (block_addr >> self._block_shift) & mask
+        else:
+            idx = self.set_index(block_addr)
+        cset = self._sets.get(idx)
         if cset is None:
             self.misses += 1
             return None
@@ -129,7 +149,13 @@ class SetAssocCache:
         return self.peek(block_addr) is not None
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets.values())
+        """Number of valid blocks (INVALID ways are dead, as in blocks())."""
+        return sum(
+            1
+            for cset in self._sets.values()
+            for block in cset.values()
+            if block.state is not CoherenceState.INVALID
+        )
 
     def blocks(self) -> Iterator[CacheBlock]:
         for cset in self._sets.values():

@@ -39,44 +39,58 @@ class Interconnect:
         self.stats = stats
         #: optional :class:`repro.obs.tracer.Tracer` (per-message events)
         self.tracer = tracer
+        # hoisted topology/latency tables for the per-message hot path
+        self._socket_of_core = tuple(
+            config.socket_of_core(c) for c in range(config.num_cores)
+        )
+        self._latency = {
+            LinkClass.LOCAL: 0,
+            LinkClass.INTRA: config.hop_intra_latency,
+            LinkClass.SOCKET: config.cross_socket_latency(),
+            LinkClass.MEMORY: config.dram_latency,
+        }
 
     # ------------------------------------------------------------------
     def link_between_cores(self, core_a: int, core_b: int) -> LinkClass:
         if core_a == core_b:
             return LinkClass.LOCAL
-        if self.config.socket_of_core(core_a) == self.config.socket_of_core(core_b):
+        if self._socket_of_core[core_a] == self._socket_of_core[core_b]:
             return LinkClass.INTRA
         return LinkClass.SOCKET
 
     def link_core_to_socket(self, core: int, socket: int) -> LinkClass:
-        if self.config.socket_of_core(core) == socket:
+        if self._socket_of_core[core] == socket:
             return LinkClass.INTRA
         return LinkClass.SOCKET
 
     def latency(self, link: LinkClass) -> int:
-        if link is LinkClass.LOCAL:
-            return 0
-        if link is LinkClass.INTRA:
-            return self.config.hop_intra_latency
-        if link is LinkClass.SOCKET:
-            return self.config.cross_socket_latency()
-        return self.config.dram_latency
+        return self._latency[link]
 
     # ------------------------------------------------------------------
     def send(self, mtype: MessageType, link: LinkClass, count: int = 1) -> int:
         """Record ``count`` messages on ``link``; return one-way latency."""
-        self.stats.count_message(mtype, link.value, count)
+        self.stats.messages[(mtype, link.value)] += count
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.message(mtype.value, link.value, count)
-        return self.latency(link)
+        return self._latency[link]
 
     def core_to_home(self, core: int, home_socket: int, mtype: MessageType) -> int:
         """Send a request from a core's private cache to a home LLC slice."""
-        return self.send(mtype, self.link_core_to_socket(core, home_socket))
+        link = (
+            LinkClass.INTRA
+            if self._socket_of_core[core] == home_socket
+            else LinkClass.SOCKET
+        )
+        return self.send(mtype, link)
 
     def home_to_core(self, home_socket: int, core: int, mtype: MessageType) -> int:
-        return self.send(mtype, self.link_core_to_socket(core, home_socket))
+        link = (
+            LinkClass.INTRA
+            if self._socket_of_core[core] == home_socket
+            else LinkClass.SOCKET
+        )
+        return self.send(mtype, link)
 
     def core_to_core(self, core_a: int, core_b: int, mtype: MessageType) -> int:
         """Cache-to-cache transfer (forwarded requests / data responses)."""

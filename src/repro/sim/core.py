@@ -27,6 +27,7 @@ class CoreModel:
         self.tracer = tracer
         self._store_buffer: deque = deque()
         self._sb_capacity = config.store_buffer_entries
+        self._l1_latency = config.l1.latency
         self._last_completion = 0
 
     # ------------------------------------------------------------------
@@ -38,11 +39,13 @@ class CoreModel:
     # ------------------------------------------------------------------
     def load(self, latency: int, spin: bool = False) -> None:
         self.clock += latency
-        self.stats.loads += 1
+        stats = self.stats
+        stats.loads += 1
         if spin:
-            self.stats.spin_loads += 1
-        if latency > self.config.l1.latency:
-            self.stats.load_stall_cycles += latency - self.config.l1.latency
+            stats.spin_loads += 1
+        l1_latency = self._l1_latency
+        if latency > l1_latency:
+            stats.load_stall_cycles += latency - l1_latency
 
     def store(self, latency: int) -> None:
         """Issue a store: 1 cycle to enter the buffer; drain in background."""

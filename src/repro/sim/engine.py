@@ -16,12 +16,17 @@ Two usage modes:
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.types import AccessType
 from repro.sim.machine import Machine
 from repro.sim.ops import ComputeOp, ForkOp, LoadOp, RmwOp, StoreOp
+
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
+_RMW = AccessType.RMW
 
 
 class Strand:
@@ -80,29 +85,55 @@ class Engine:
         machine_cores = self.machine.cores
         workers = self.workers
         scheduler = self.scheduler
+        step = self.step
+        # Lazily-repaired min-heap over worker clocks, replacing the
+        # per-step O(num_threads) scan.  Only the worker being stepped can
+        # advance its own clock, so entries are normally exact; the staleness
+        # check below repairs any entry whose clock moved underneath it
+        # (robust against schedulers that touch other cores).  Ties break on
+        # the thread id, matching the old first-lowest-thread scan order.
+        if scheduler is None:
+            heap = [
+                (machine_cores[w.thread].clock, w.thread)
+                for w in workers
+                if w.strand is not None
+            ]
+        else:
+            heap = [(machine_cores[w.thread].clock, w.thread) for w in workers]
+        heapify(heap)
+        #: idle workers the scheduler had no work for; re-armed on progress
+        parked = []
         while True:
             if scheduler is not None and scheduler.finished:
                 return
-            best = None
-            best_clock = None
-            for w in workers:
-                if w.strand is None:
-                    if scheduler is None or not scheduler.has_work_for(w):
-                        continue
-                clock = machine_cores[w.thread].clock
-                if best_clock is None or clock < best_clock:
-                    best = w
-                    best_clock = clock
-            if best is None:
+            if not heap:
                 if scheduler is None:
                     return  # pinned mode: everything ran to completion
                 raise SimulationError(
                     "deadlock: scheduler not finished but no worker is runnable"
                 )
-            if best.strand is None:
-                scheduler.on_idle(best)
+            entry = heappop(heap)
+            clock, thread = entry
+            core = machine_cores[thread]
+            if clock != core.clock:
+                heappush(heap, (core.clock, thread))  # stale: repair
+                continue
+            worker = workers[thread]
+            if worker.strand is None:
+                if scheduler is None:
+                    continue  # pinned strand finished: retire the worker
+                if not scheduler.has_work_for(worker):
+                    parked.append(entry)
+                    continue
+                scheduler.on_idle(worker)
             else:
-                self.step(best)
+                step(worker)
+            heappush(heap, (core.clock, thread))
+            if parked:
+                # Progress was made; parked workers may have work again.
+                for stale in parked:
+                    heappush(heap, stale)
+                parked.clear()
 
     # ------------------------------------------------------------------
     def step(self, worker: Worker) -> None:
@@ -132,25 +163,26 @@ class Engine:
         cls = op.__class__
         thread = worker.thread
         machine = self.machine
+        access_hook = self.access_hook
         if cls is ComputeOp:
             machine.compute(thread, op.instrs)
         elif cls is LoadOp:
-            if self.access_hook is not None:
-                self.access_hook(worker, op, AccessType.LOAD)
+            if access_hook is not None:
+                access_hook(worker, op, _LOAD)
             strand.resume_value = machine.access(
-                thread, op.addr, op.size, AccessType.LOAD, spin=op.spin
+                thread, op.addr, op.size, _LOAD, spin=op.spin
             )
         elif cls is StoreOp:
-            if self.access_hook is not None:
-                self.access_hook(worker, op, AccessType.STORE)
+            if access_hook is not None:
+                access_hook(worker, op, _STORE)
             strand.resume_value = machine.access(
-                thread, op.addr, op.size, AccessType.STORE
+                thread, op.addr, op.size, _STORE
             )
         elif cls is RmwOp:
-            if self.access_hook is not None:
-                self.access_hook(worker, op, AccessType.RMW)
+            if access_hook is not None:
+                access_hook(worker, op, _RMW)
             strand.resume_value = machine.access(
-                thread, op.addr, op.size, AccessType.RMW
+                thread, op.addr, op.size, _RMW
             )
         elif cls is ForkOp:
             if self.fork_handler is None:

@@ -52,6 +52,10 @@ class Machine:
             CoreModel(config, t, tracer=self.tracer)
             for t in range(config.num_threads)
         ]
+        #: thread -> physical core, precomputed for the access hot path
+        self._core_of: tuple = tuple(
+            config.core_of_thread(t) for t in range(config.num_threads)
+        )
         self._brk = ADDRESS_SPACE_BASE
 
     # ------------------------------------------------------------------
@@ -78,7 +82,6 @@ class Machine:
         atype: AccessType,
         spin: bool = False,
     ) -> int:
-        core = self.config.core_of_thread(thread)
         cm = self.cores[thread]
         tracer = self.tracer
         if tracer.enabled:
@@ -87,7 +90,7 @@ class Machine:
             start = cm.clock
             tracer.cycle = start
             tracer.thread = thread
-        latency = self.protocol.access(core, addr, size, atype)
+        latency = self.protocol.access(self._core_of[thread], addr, size, atype)
         if atype is AccessType.LOAD:
             cm.load(latency, spin=spin)
         elif atype is AccessType.STORE:

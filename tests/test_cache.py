@@ -57,6 +57,27 @@ class TestBasics:
         c.install(64, S)
         assert len(c) == 2
 
+    def test_len_skips_invalid_blocks(self):
+        # __len__ must agree with blocks(): INVALID ways are dead capacity
+        c = small_cache()
+        c.install(0, S)
+        block = c.install(64, S)
+        block.state = I
+        assert len(c) == 1
+        assert len(c) == sum(1 for _ in c.blocks())
+
+    def test_non_power_of_two_sets_still_map_correctly(self):
+        # 3 sets defeats the shift/mask fast path; the modulo fallback
+        # must produce identical placement
+        cfg = CacheConfig(2 * 3 * 64, 2, 64)
+        c = SetAssocCache(cfg, "np2")
+        assert c.set_index(0) == 0
+        assert c.set_index(64) == 1
+        assert c.set_index(128) == 2
+        assert c.set_index(192) == 0  # wraps after 3 sets
+        c.install(0, S)
+        assert c.lookup(0) is not None
+
 
 class TestLRU:
     def test_eviction_is_lru(self):

@@ -6,7 +6,16 @@ import pytest
 
 import repro.cli as cli
 from repro.analysis.metrics import ComparisonMetrics
+from repro.analysis.run import set_disk_cache
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Keep CLI invocations from writing .warden-cache/ into the repo."""
+    monkeypatch.setattr(cli, "DEFAULT_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+    set_disk_cache(None)
 
 
 class TestParser:
@@ -107,7 +116,7 @@ class TestFigureJson:
             ipc_improvement_pct=7.0, ward_coverage=0.5,
         )
         monkeypatch.setattr(
-            cli, "_metrics_for", lambda config, names, size: [fake]
+            cli, "_metrics_for", lambda config, names, size, jobs=1: [fake]
         )
         assert main(["figure", "fig9", "--size", "test", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
