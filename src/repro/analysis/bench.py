@@ -16,6 +16,7 @@ a tolerance (CI uses 30%).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -25,7 +26,16 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.run import run_benchmark
 from repro.common.config import MachineConfig, dual_socket
 
-BENCH_SCHEMA = 1
+#: Schema 2 moves host facts (``host_cpus``, free-form ``note``) under
+#: ``meta`` where the other host metadata lives; ``comparisons``, when a
+#: report carries one, is purely benchmark-keyed.  Schema-1 reports mixed
+#: both as sibling keys inside ``comparisons`` — the accessors below read
+#: either layout, so committed baselines never need rewriting.
+BENCH_SCHEMA = 2
+
+#: legacy schema-1 keys that may sit inside ``comparisons`` next to the
+#: real benchmark entries
+_HOST_META_KEYS = ("host_cpus", "note")
 
 #: (benchmark, size) rows; every row runs under both protocols.
 #: The quick suite is sized for CI smoke runs (a few seconds); the full
@@ -108,15 +118,45 @@ def run_bench_suite(
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "host_cpus": os.cpu_count(),
         },
     }
 
 
+def host_meta(report: Dict) -> Dict:
+    """Host facts of a report, regardless of schema version.
+
+    Schema >= 2 keeps them in ``meta``; schema 1 stashed ``host_cpus`` /
+    ``note`` as sibling keys inside ``comparisons``.
+    """
+    meta = dict(report.get("meta", {}))
+    legacy = report.get("comparisons", {})
+    for key in _HOST_META_KEYS:
+        if key not in meta and key in legacy:
+            meta[key] = legacy[key]
+    return meta
+
+
+def comparison_entries(report: Dict) -> Dict[str, Dict]:
+    """The benchmark-keyed entries of ``comparisons``, regardless of schema.
+
+    Filters out the legacy schema-1 host keys (anything non-dict), so
+    callers can iterate comparison blocks without layout checks.
+    """
+    return {
+        key: value
+        for key, value in report.get("comparisons", {}).items()
+        if isinstance(value, dict)
+    }
+
+
 def render_report(report: Dict) -> str:
-    """Human-readable table for one bench report."""
+    """Human-readable table for one bench report (any schema version)."""
+    meta = host_meta(report)
+    host = f" ({meta['host_cpus']} host cpus)" if meta.get("host_cpus") else ""
     lines = [
         f"bench suite: {report['suite']} on {report['machine']} "
-        f"({report['meta']['python']})",
+        f"({meta.get('python', '?')}){host}",
         f"{'benchmark':<14} {'protocol':<8} {'size':<8} "
         f"{'wall (s)':>9} {'instrs':>10} {'steps/s':>12}",
     ]
@@ -154,12 +194,30 @@ def compare_to_baseline(
     """
     current = report["totals"]["steps_per_second"]
     reference = baseline["totals"]["steps_per_second"]
+    scope = "totals"
+    # Suite-matched comparison: when the baseline covers more rows than the
+    # report (quick run vs a committed full-suite baseline), restrict the
+    # reference to the rows the report actually ran — otherwise the quick
+    # suite's different benchmark mix skews the ratio.
+    rows = {
+        (r["benchmark"], r["protocol"], r["size"]) for r in report["runs"]
+    }
+    matched = [
+        r
+        for r in baseline.get("runs", [])
+        if (r["benchmark"], r["protocol"], r["size"]) in rows
+    ]
+    if matched and len(matched) != len(baseline.get("runs", [])):
+        wall = sum(r["wall_s"] for r in matched)
+        if wall > 0:
+            reference = sum(r["instructions"] for r in matched) / wall
+            scope = f"{len(matched)} matching baseline rows"
     if reference <= 0:
         return True, "baseline has no throughput data; skipping comparison"
     ratio = current / reference
     message = (
         f"throughput {current:,.0f} steps/s vs baseline {reference:,.0f} "
-        f"steps/s ({ratio:.2f}x, tolerance -{max_regression:.0%})"
+        f"steps/s [{scope}] ({ratio:.2f}x, tolerance -{max_regression:.0%})"
     )
     if ratio < 1.0 - max_regression:
         return False, "REGRESSION: " + message

@@ -25,16 +25,17 @@ def root_task(ctx, values: List[int]):
     src = yield from input_array(ctx, values, name="input")
     sorted_arr = yield from sort_task(ctx, src, 0, len(src))
 
-    def first_occurrence(c, i):
+    # out[i] = sorted[i] if it differs from its left neighbour (coalesced
+    # [Load(i), Load(i-1), Compute, Store] gather; element 0 has no
+    # neighbour and keeps its original scalar [Load, Store] stream).
+    def first_elem(c, i):
         value = yield from sorted_arr.get(i)
-        if i == 0:
-            return value
-        prev = yield from sorted_arr.get(i - 1)
-        yield ComputeOp(1)
-        return value if value != prev else -1
+        return value
 
-    marked = yield from ctx.tabulate(
-        len(sorted_arr), first_occurrence, grain=32, name="marked"
+    marked = yield from ctx.tabulate_gather(
+        len(sorted_arr), [sorted_arr, (sorted_arr, -1)],
+        lambda i, value, prev: value if value != prev else -1,
+        grain=32, name="marked", instrs=1, dense_lo=1, edge_body=first_elem,
     )
     unique = yield from ctx.filter_array(marked, lambda v: v >= 0, grain=32)
     return unique.to_list()

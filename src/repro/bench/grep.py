@@ -39,17 +39,17 @@ def root_task(ctx, workload):
         return 1
 
     flags = yield from ctx.tabulate(max(n - m + 1, 0), match_at, grain=32, name="hits")
-    positions = yield from ctx.tabulate(
-        len(flags), lambda c, i: c.value(i), grain=64, name="idx"
+    positions = yield from ctx.tabulate_batch(
+        len(flags), lambda i: i, grain=64, name="idx"
     )
 
-    # Pack the matching positions (filter over index/flag pairs).
-    def keep(c, i):
-        flag = yield from flags.get(i)
-        pos = yield from positions.get(i)
-        return pos if flag else -1
-
-    marked = yield from ctx.tabulate(len(flags), keep, grain=32, name="marked")
+    # Pack the matching positions (filter over index/flag pairs); the dense
+    # [Load(flag), Load(pos), Store] body coalesces into gather batches.
+    marked = yield from ctx.tabulate_gather(
+        len(flags), [flags, positions],
+        lambda i, flag, pos: pos if flag else -1,
+        grain=32, name="marked",
+    )
     matches = yield from ctx.filter_array(marked, lambda v: v >= 0, grain=32)
     return matches.to_list()
 

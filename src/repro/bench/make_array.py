@@ -8,7 +8,6 @@ with minimal benefit (§7.2) — we keep it write-only on purpose.
 from __future__ import annotations
 
 from repro.bench.common import Benchmark
-from repro.sim.ops import ComputeOp
 
 
 def build(rng, scale: int) -> int:
@@ -16,11 +15,11 @@ def build(rng, scale: int) -> int:
 
 
 def root_task(ctx, n: int):
-    def body(c, i):
-        yield ComputeOp(2)
-        return (i * 2654435761) & 0xFFFF
-
-    arr = yield from ctx.tabulate(n, body, grain=64, name="made")
+    # Host-computable body: coalesced tabulate ([ComputeOp(2), Store] per
+    # element, one fused batch per leaf).
+    arr = yield from ctx.tabulate_batch(
+        n, lambda i: (i * 2654435761) & 0xFFFF, grain=64, name="made", instrs=2
+    )
     # Checksum computed host-side: the benchmark itself is the initialisation.
     return sum(arr.data) & 0xFFFFFFFF
 

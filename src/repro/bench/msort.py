@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.bench.common import Benchmark, input_array
+from repro.bench.common import Benchmark, input_array, read_run, write_run
 from repro.sim.ops import ComputeOp
 
 SEQ_CUTOFF = 32
@@ -19,17 +19,18 @@ MERGE_CUTOFF = 48
 
 
 def _seq_sort(ctx, src, lo, hi):
-    """Sort src[lo:hi) into a fresh local array (sequential base case)."""
+    """Sort src[lo:hi) into a fresh local array (sequential base case).
+
+    The dense read and write loops retire as coalesced batch runs (the
+    merge loops above the cutoff stay per-op: their order is data
+    dependent).
+    """
     n = hi - lo
     out = yield from ctx.alloc_array(n, name="leafsort")
-    values = []
-    for i in range(lo, hi):
-        value = yield from src.get(i)
-        values.append(value)
+    values = yield from read_run(src, lo, hi)
     values.sort()
     yield ComputeOp(2 * n)  # comparison work of the host-side sort
-    for i, value in enumerate(values):
-        yield from out.set(i, value)
+    yield from write_run(out, 0, values)
     return out
 
 

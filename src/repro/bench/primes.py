@@ -12,13 +12,13 @@ from __future__ import annotations
 import math
 
 from repro.bench.common import Benchmark
-from repro.sim.ops import ComputeOp
+from repro.sim.ops import StoreBatchOp
 
 
 def sieve_task(ctx, n: int):
     """Return the flags array for primality up to ``n`` (paper Fig. 4)."""
-    flags = yield from ctx.tabulate(
-        n + 1, lambda c, i: c.value(True), grain=64, elem_size=1, name="flags"
+    flags = yield from ctx.tabulate_batch(
+        n + 1, lambda i: True, grain=64, elem_size=1, name="flags"
     )
     yield from flags.set(0, False)
     if n >= 1:
@@ -32,9 +32,16 @@ def sieve_task(ctx, n: int):
             is_prime = yield from sqrtflags.get(p)
             if not is_prime:
                 return
+            # One strided batch per prime: the [ComputeOp(1), Store(p*m)]
+            # pairs for m in [2, n//p] retire as a single fused op
+            # (stream-identical to the per-multiple loop).
+            yield StoreBatchOp(
+                flags.addr(2 * p), p * flags.elem_size, n // p - 1,
+                flags.elem_size, heap=flags.heap,
+                instrs=1, compute_first=True,
+            )
             for m in range(2, n // p + 1):
-                yield ComputeOp(1)
-                yield from flags.set(p * m, False)
+                flags.data[p * m] = False
 
         yield from ctx.parallel_for(2, root + 1, mark_multiples, grain=1)
         ctx.ward_end(phase)
@@ -47,12 +54,8 @@ def build(rng, scale: int) -> int:
 
 def root_task(ctx, n: int):
     flags = yield from sieve_task(ctx, n)
-    count = yield from ctx.reduce(
-        0,
-        n + 1,
-        lambda c, i: flags.get(i),
-        lambda a, b: int(a) + int(b),
-        grain=64,
+    count = yield from ctx.reduce_array(
+        flags, 0, n + 1, lambda a, b: int(a) + int(b), grain=64
     )
     return count
 

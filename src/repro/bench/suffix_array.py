@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.bench.common import Benchmark, input_array
+from repro.bench.common import Benchmark, input_array, read_run
 from repro.bench.msort import sort_task
 from repro.sim.ops import ComputeOp
 
@@ -19,32 +19,36 @@ def suffix_array_task(ctx, chars, n: int):
     if n <= 1:
         yield ComputeOp(1)
         return list(range(n))
-    rank = yield from ctx.tabulate(
-        n, lambda c, i: chars.get(i), grain=32, name="rank0"
+    rank = yield from ctx.tabulate_gather(
+        n, [chars], lambda i, ch: ch, grain=32, name="rank0"
     )
     k = 1
     order = None
     while k < n:
-        def make_key(c, i):
+        # key[i] = (rank[i], rank[i+k], i): a [Load, Load, Compute, Store]
+        # gather for i < n-k; the tail has no i+k neighbour and keeps its
+        # original scalar [Load, Compute, Store] stream.
+        def tail_key(c, i):
             r1 = yield from rank.get(i)
-            if i + k < n:
-                r2 = yield from rank.get(i + k)
-            else:
-                r2 = -1
             yield ComputeOp(1)
-            return (r1, r2, i)
+            return (r1, -1, i)
 
-        keys = yield from ctx.tabulate(n, make_key, grain=32, name="keys")
+        keys = yield from ctx.tabulate_gather(
+            n, [rank, (rank, k)],
+            lambda i, r1, r2: (r1, r2, i),
+            grain=32, name="keys", instrs=1, dense_hi=n - k,
+            edge_body=tail_key,
+        )
         order = yield from sort_task(ctx, keys, 0, n)
 
-        # Dense re-ranking: sequential scan over the sorted keys (cheap),
-        # then a parallel scatter of the new ranks through a write-phase.
+        # Dense re-ranking: sequential scan over the sorted keys (one
+        # coalesced [Load, ComputeOp(1)]-per-key batch), then a parallel
+        # scatter of the new ranks through a write-phase.
+        keys_sorted = yield from read_run(order, 0, n, instrs=1)
         dense = []
         r = 0
         prev = None
-        for j in range(n):
-            key = yield from order.get(j)
-            yield ComputeOp(1)
+        for key in keys_sorted:
             if prev is not None and (key[0], key[1]) != (prev[0], prev[1]):
                 r += 1
             dense.append(r)
@@ -64,11 +68,8 @@ def suffix_array_task(ctx, chars, n: int):
             break
         k *= 2
 
-    result = []
-    for j in range(n):
-        key = yield from order.get(j)
-        result.append(key[2])
-    return result
+    final_keys = yield from read_run(order, 0, n)
+    return [key[2] for key in final_keys]
 
 
 def build(rng: random.Random, scale: int) -> str:

@@ -39,15 +39,14 @@ def root_task(ctx, workload):
         return 1 if prev == 32 else 0
 
     starts = yield from ctx.tabulate(n, is_start, grain=32, name="starts")
-    count = yield from ctx.reduce(
-        0, n, lambda c, i: starts.get(i), lambda a, b: a + b, grain=64
+    count = yield from ctx.reduce_array(
+        starts, 0, n, lambda a, b: a + b, grain=64
     )
 
-    def keep(c, i):
-        flag = yield from starts.get(i)
-        return i if flag else -1
-
-    marked = yield from ctx.tabulate(n, keep, grain=32, name="marked")
+    # keep[i] = i where a token starts ([Load, Store] gather batches)
+    marked = yield from ctx.tabulate_gather(
+        n, [starts], lambda i, flag: i if flag else -1, grain=32, name="marked"
+    )
     offsets = yield from ctx.filter_array(marked, lambda v: v >= 0, grain=32)
     return count, offsets.to_list()[:8]
 

@@ -241,7 +241,22 @@ def cmd_profile(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    report = run_bench_suite(quick=args.quick, repeats=args.repeats)
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = run_bench_suite(quick=args.quick, repeats=args.repeats)
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        print(f"== cProfile: top {args.profile_top} by cumulative time ==")
+        print(stream.getvalue())
+    else:
+        report = run_bench_suite(quick=args.quick, repeats=args.repeats)
     write_report(args.out, report)
     print(render_report(report))
     print(f"\nreport written to {args.out}")
@@ -334,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "when steps/second regresses past --max-regress")
     pb.add_argument("--max-regress", type=float, default=0.30,
                     help="tolerated fractional throughput drop "
+                         "(default: %(default)s)")
+    pb.add_argument("--profile", action="store_true",
+                    help="wrap the suite in cProfile and print the hottest "
+                         "functions (for hunting simulator hot spots)")
+    pb.add_argument("--profile-top", type=_positive_int, default=25,
+                    help="number of functions to show with --profile "
                          "(default: %(default)s)")
     pb.set_defaults(func=cmd_bench)
 

@@ -39,6 +39,22 @@ E = CoherenceState.EXCLUSIVE
 M = CoherenceState.MODIFIED
 W = CoherenceState.WARD
 
+# enum member access through the class is a descriptor call; the fast path
+# runs hundreds of thousands of times, so bind the members once
+_LOAD = AccessType.LOAD
+_RMW = AccessType.RMW
+_GET_S = MessageType.GET_S
+_GET_M = MessageType.GET_M
+_UPGRADE = MessageType.UPGRADE
+_PUT_M = MessageType.PUT_M
+_FWD_GET_S = MessageType.FWD_GET_S
+_FWD_GET_M = MessageType.FWD_GET_M
+_INV = MessageType.INV
+_INV_ACK = MessageType.INV_ACK
+_DATA = MessageType.DATA
+_DATA_E = MessageType.DATA_E
+_WB_DATA = MessageType.WB_DATA
+
 
 class MESIProtocol:
     """The MESI baseline: every sharing event pays invalidations/downgrades."""
@@ -90,6 +106,19 @@ class MESIProtocol:
         ]
         #: NUMA first-touch placement map: page number -> home socket
         self._page_homes: dict = {}
+        # per-core (l1, l1_sets, l1_shift, l1_mask, l2, l2_sets, l2_shift,
+        # l2_mask) tuples for try_fast_access — the cache objects and their
+        # set dicts are stable for the protocol's lifetime, so the fast path
+        # skips the attribute chains entirely
+        self._fast_meta = [
+            (
+                self.l1[c], self.l1[c]._sets,
+                self.l1[c]._block_shift, self.l1[c]._set_mask,
+                self.l2[c], self.l2[c]._sets,
+                self.l2[c]._block_shift, self.l2[c]._set_mask,
+            )
+            for c in range(ncores)
+        ]
 
     # ------------------------------------------------------------------
     # Topology / lookup helpers
@@ -146,7 +175,7 @@ class MESIProtocol:
                     f"evicting owned block {block.addr:#x} but directory "
                     f"says owner={entry.owner}"
                 )
-            mtype = MessageType.PUT_M if block.state is M else MessageType.PUT_M
+            mtype = _PUT_M if block.state is M else _PUT_M
             self.noc.core_to_home(core, home, mtype)
             if block.state is M:
                 self.stats.writebacks += 1
@@ -156,7 +185,7 @@ class MESIProtocol:
             entry.sharers.clear()
         elif block.state is S:
             # Explicit PutS so sharer sets stay exact (cheap control message).
-            self.noc.core_to_home(core, home, MessageType.PUT_M)
+            self.noc.core_to_home(core, home, _PUT_M)
             entry.sharers.discard(core)
             if not entry.sharers:
                 entry.set_state(I, self.tracer)
@@ -169,11 +198,11 @@ class MESIProtocol:
         """
         home = self.home(block.addr)
         if block.written_mask:
-            self.noc.core_to_home(core, home, MessageType.WB_DATA)
+            self.noc.core_to_home(core, home, _WB_DATA)
             self.stats.writebacks += 1
             self._llc_fill(block.addr)
         else:
-            self.noc.core_to_home(core, home, MessageType.PUT_M)
+            self.noc.core_to_home(core, home, _PUT_M)
         entry.sharers.discard(core)
         block.state = I
         block.clear_written()
@@ -190,18 +219,88 @@ class MESIProtocol:
         if self.llc[self.home(block_addr)].lookup(block_addr) is not None:
             return 0
         self.stats.dram_accesses += 1
-        self.noc.send(MessageType.DATA, LinkClass.MEMORY)
+        self.noc.send(_DATA, LinkClass.MEMORY)
         self._llc_fill(block_addr)
         return self.config.dram_latency
 
     # ------------------------------------------------------------------
     # The access path
     # ------------------------------------------------------------------
+    def try_fast_access(
+        self, core: int, addr: int, size: int, atype: AccessType
+    ) -> Optional[int]:
+        """Epoch fast path: resolve the access iff it is a pure private hit.
+
+        Returns the latency when the access completes entirely inside the
+        core's private caches with no directory or interconnect message —
+        exactly the hit paths of :meth:`access` — and None when the full
+        transaction is required (miss, S-store upgrade, or any RMW; atomics
+        go through :meth:`access` so their store-buffer fence always pairs
+        with the full transaction).  A None return has NO side effects
+        (non-statistical peeks only), so the caller can fall back to
+        :meth:`access` without double counting; a non-None return performs
+        the same statistical lookups and state changes access() would.
+        """
+        if atype is _RMW:
+            return None
+        bs = self._block_size
+        block_addr = addr - (addr % bs)
+        # Side-effect-free probe first (the cache probe/commit_hit protocol,
+        # inlined here — this is the hottest function in the simulator);
+        # committing a confirmed hit replays lookup()'s exact statistical
+        # effects without a second dict walk.
+        l1, sets1, shift1, mask1, l2, sets2, shift2, mask2 = self._fast_meta[core]
+        if mask1 >= 0:
+            idx = (block_addr >> shift1) & mask1
+        else:
+            idx = l1.set_index(block_addr)
+        cset1 = sets1.get(idx)
+        block = cset1.get(block_addr) if cset1 is not None else None
+        if block is not None and block.state is I:
+            block = None
+        cset2 = None
+        if block is None:
+            if mask2 >= 0:
+                idx = (block_addr >> shift2) & mask2
+            else:
+                idx = l2.set_index(block_addr)
+            cset2 = sets2.get(idx)
+            block = cset2.get(block_addr) if cset2 is not None else None
+            if block is None or block.state is I:
+                return None
+        is_load = atype is _LOAD
+        state = block.state
+        if not is_load and state is S:
+            return None  # store upgrade needs the directory
+        # Private hit confirmed: commit the exact effects of access().
+        stats = self.stats
+        stats.total_accesses += 1
+        latency = self._l1_latency
+        if cset2 is None:
+            l1.hits += 1
+            cset1.move_to_end(block_addr)
+        else:
+            l1.misses += 1
+            latency += self._l2_latency
+            l2.hits += 1
+            cset2.move_to_end(block_addr)
+            l1.install_block(block)
+        if state is W:
+            stats.ward_accesses += 1
+        if not is_load:
+            if state is E:
+                block.state = M  # silent E -> M upgrade
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.transition("private", block.addr, "E", "M")
+            block.mark_written(sector_mask(addr, size, bs))
+        return latency
+
     def access(self, core: int, addr: int, size: int, atype: AccessType) -> int:
         """Perform one memory access; return its latency in cycles."""
         bs = self._block_size
         block_addr = addr - (addr % bs)
-        is_load = atype is AccessType.LOAD
+        is_load = atype is _LOAD
         mask = 0 if is_load else sector_mask(addr, size, bs)
         stats = self.stats
         stats.total_accesses += 1
@@ -245,7 +344,7 @@ class MESIProtocol:
     def _upgrade(self, core: int, block_addr: int, block: CacheBlock, mask: int) -> int:
         home = self.home(block_addr)
         entry = self.dir_entry(block_addr)
-        latency = self.noc.core_to_home(core, home, MessageType.UPGRADE)
+        latency = self.noc.core_to_home(core, home, _UPGRADE)
         latency += self.config.l3.latency
         self.stats.l3_accesses += 1
         latency += self._handle_upgrade_at_dir(core, block_addr, entry, block, mask)
@@ -264,7 +363,7 @@ class MESIProtocol:
                 f"upgrade for {block_addr:#x} but directory shows {entry}"
             )
         latency = self._invalidate_sharers(block_addr, entry, exclude=core)
-        latency += self.noc.home_to_core(self.home(block_addr), core, MessageType.DATA_E)
+        latency += self.noc.home_to_core(self.home(block_addr), core, _DATA_E)
         entry.set_state(M, self.tracer)
         entry.owner = core
         entry.sharers.clear()
@@ -282,8 +381,8 @@ class MESIProtocol:
         for sharer in sorted(entry.sharers):
             if sharer == exclude:
                 continue
-            lat = self.noc.home_to_core(home, sharer, MessageType.INV)
-            lat += self.noc.core_to_home(sharer, home, MessageType.INV_ACK)
+            lat = self.noc.home_to_core(home, sharer, _INV)
+            lat += self.noc.core_to_home(sharer, home, _INV_ACK)
             worst = max(worst, lat)
             self.stats.invalidations += 1
             if tracer.enabled:
@@ -300,7 +399,7 @@ class MESIProtocol:
     def _miss(self, core: int, block_addr: int, atype: AccessType, mask: int) -> int:
         home = self.home(block_addr)
         entry = self.dir_entry(block_addr)
-        mtype = MessageType.GET_M if atype.is_write else MessageType.GET_S
+        mtype = _GET_M if atype is not _LOAD else _GET_S
         latency = self.noc.core_to_home(core, home, mtype)
         latency += self.config.l3.latency
         latency += self._handle_at_directory(core, block_addr, entry, atype, mask)
@@ -318,8 +417,8 @@ class MESIProtocol:
         home = self.home(block_addr)
         if entry.state is I:
             latency = self._fetch_data_at_home(block_addr)
-            latency += self.noc.home_to_core(home, core, MessageType.DATA_E)
-            if atype.is_write:
+            latency += self.noc.home_to_core(home, core, _DATA_E)
+            if atype is not _LOAD:
                 self._install_private(core, block_addr, M, mask)
                 entry.set_state(M, self.tracer)
             else:
@@ -330,17 +429,17 @@ class MESIProtocol:
             return latency
 
         if entry.state is S:
-            if atype.is_write:
+            if atype is not _LOAD:
                 inv_latency = self._invalidate_sharers(block_addr, entry, exclude=core)
                 data_latency = self._fetch_data_at_home(block_addr)
-                data_latency += self.noc.home_to_core(home, core, MessageType.DATA)
+                data_latency += self.noc.home_to_core(home, core, _DATA)
                 self._install_private(core, block_addr, M, mask)
                 entry.set_state(M, self.tracer)
                 entry.owner = core
                 entry.sharers.clear()
                 return max(inv_latency, data_latency)
             latency = self._fetch_data_at_home(block_addr)
-            latency += self.noc.home_to_core(home, core, MessageType.DATA)
+            latency += self.noc.home_to_core(home, core, _DATA)
             self._install_private(core, block_addr, S, 0)
             entry.sharers.add(core)
             return latency
@@ -371,10 +470,10 @@ class MESIProtocol:
                 "but no private copy exists"
             )
         tracer = self.tracer
-        if atype.is_write:
+        if atype is not _LOAD:
             # Fwd-GetM: invalidate the owner, transfer ownership.
-            latency = self.noc.home_to_core(home, owner, MessageType.FWD_GET_M)
-            latency += self.noc.core_to_core(owner, core, MessageType.DATA)
+            latency = self.noc.home_to_core(home, owner, _FWD_GET_M)
+            latency += self.noc.core_to_core(owner, core, _DATA)
             self.stats.invalidations += 1
             if tracer.enabled:
                 tracer.transition(
@@ -389,15 +488,15 @@ class MESIProtocol:
             entry.sharers.clear()
             return latency
         # Fwd-GetS: downgrade the owner to S, write back if dirty.
-        latency = self.noc.home_to_core(home, owner, MessageType.FWD_GET_S)
-        latency += self.noc.core_to_core(owner, core, MessageType.DATA)
+        latency = self.noc.home_to_core(home, owner, _FWD_GET_S)
+        latency += self.noc.core_to_core(owner, core, _DATA)
         self.stats.downgrades += 1
         if tracer.enabled:
             tracer.transition(
                 f"L2-{owner}", block_addr, owner_block.state.value, "S"
             )
         if owner_block.state is M:
-            self.noc.core_to_home(owner, home, MessageType.WB_DATA)
+            self.noc.core_to_home(owner, home, _WB_DATA)
             self.stats.writebacks += 1
             self._llc_fill(block_addr)
         owner_block.state = S

@@ -41,7 +41,16 @@ W = CoherenceState.WARD
 class WARDenProtocol(MESIProtocol):
     """MESI augmented with the WARD state; full MESI behaviour is preserved
     for every address outside an active WARD region (legacy apps run
-    unencumbered, §5.1)."""
+    unencumbered, §5.1).
+
+    The inherited :meth:`~MESIProtocol.try_fast_access` epoch fast path is
+    correct here without modification: a private W-state hit generates no
+    directory traffic *by design* (silent local reads and writes until
+    reconciliation, §5.2), so W hits are epoch-safe exactly like M/E hits;
+    region membership only matters on the directory paths, which the fast
+    path never takes (misses and S-store upgrades return None-must-slow-path
+    before any region lookup would be consulted).
+    """
 
     name = "WARDen"
     supports_ward = True

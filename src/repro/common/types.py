@@ -21,6 +21,11 @@ class AccessType(enum.Enum):
     #: and a store for coherence purposes and is never WARD-eligible.
     RMW = "rmw"
 
+    # Enum members are singletons and compare by identity, so identity
+    # hashing is equivalent to the default (which re-hashes the member name
+    # string on every call — measurable in stats dicts on the hot path).
+    __hash__ = object.__hash__
+
     @property
     def is_write(self) -> bool:
         return self is not AccessType.LOAD
@@ -38,6 +43,8 @@ class CoherenceState(enum.Enum):
     SHARED = "S"
     INVALID = "I"
     WARD = "W"
+
+    __hash__ = object.__hash__  # identity hash; see AccessType
 
     @property
     def grants_read(self) -> bool:
@@ -78,6 +85,8 @@ class MessageType(enum.Enum):
     RECONCILE = "Reconcile"
     REGION_ADD = "Region-Add"
     REGION_REMOVE = "Region-Remove"
+
+    __hash__ = object.__hash__  # identity hash; see AccessType
 
     @property
     def carries_data(self) -> bool:

@@ -19,7 +19,13 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.hlpl.arrays import SimArray
-from repro.sim.ops import ComputeOp, ForkOp
+from repro.sim.ops import (
+    ComputeOp,
+    ForkOp,
+    GatherBatchOp,
+    LoadBatchOp,
+    StoreBatchOp,
+)
 
 DEFAULT_GRAIN = 16
 
@@ -67,6 +73,30 @@ class TaskContext:
         yield from self.par(
             lambda c: c.parallel_for(lo, mid, body, grain),
             lambda c: c.parallel_for(mid, hi, body, grain),
+        )
+
+    def parallel_for_chunks(
+        self,
+        lo: int,
+        hi: int,
+        chunk_body: Callable,
+        grain: int = DEFAULT_GRAIN,
+    ):
+        """Like :meth:`parallel_for`, but each grain-sized leaf invokes
+        ``chunk_body(ctx, leaf_lo, leaf_hi)`` once instead of ``body`` per
+        index — the splitting (and therefore the fork tree) is identical,
+        so a chunk body that emits the per-index op stream in one batch is
+        stream-identical to the per-index loop."""
+        n = hi - lo
+        if n <= 0:
+            return
+        if n <= grain:
+            yield from chunk_body(self, lo, hi)
+            return
+        mid = lo + n // 2
+        yield from self.par(
+            lambda c: c.parallel_for_chunks(lo, mid, chunk_body, grain),
+            lambda c: c.parallel_for_chunks(mid, hi, chunk_body, grain),
         )
 
     # ------------------------------------------------------------------
@@ -120,6 +150,99 @@ class TaskContext:
         self.rt.construct_end(region)
         return arr
 
+    def tabulate_batch(
+        self,
+        length: int,
+        fn: Callable[[int], Any],
+        grain: int = DEFAULT_GRAIN,
+        elem_size: int = 8,
+        name: str = "tab",
+        instrs: int = 0,
+    ):
+        """Coalesced :meth:`tabulate` for *host-computable* bodies.
+
+        ``fn(i)`` is a plain Python function (no simulated reads); each
+        element costs ``instrs`` compute followed by its store, emitted as
+        one fused batch op per leaf.  Stream-identical to ``tabulate`` with
+        ``body = lambda c, i: (yield ComputeOp(instrs)) or fn(i)`` (or
+        ``c.value(fn(i))`` when ``instrs`` is 0) at the same grain, but
+        with two generator resumes per leaf instead of two per element.
+        """
+        arr = yield from self.alloc_array(length, elem_size, name=name)
+        region = self.rt.construct_begin(arr)
+
+        def write_chunk(c, lo, hi):
+            yield StoreBatchOp(
+                arr.addr(lo), arr.elem_size, hi - lo, arr.elem_size,
+                heap=arr.heap, instrs=instrs, compute_first=True,
+            )
+            arr.data[lo:hi] = [fn(i) for i in range(lo, hi)]
+
+        yield from self.parallel_for_chunks(0, length, write_chunk, grain)
+        self.rt.construct_end(region)
+        return arr
+
+    def tabulate_gather(
+        self,
+        length: int,
+        srcs,
+        fn: Callable,
+        grain: int = DEFAULT_GRAIN,
+        elem_size: int = 8,
+        name: str = "tab",
+        instrs: int = 0,
+        dense_lo: int = 0,
+        dense_hi: int = None,
+        edge_body: Callable = None,
+    ):
+        """Coalesced :meth:`tabulate` for bodies that read other arrays.
+
+        ``out[i] = fn(i, *(s.data[i + off] for (s, off) in srcs))``; per
+        element the simulated op stream is the loads of each source (in
+        ``srcs`` order), ``ComputeOp(instrs)`` if ``instrs``, then the
+        store — stream-identical to the equivalent per-element tabulate
+        body, retired as one :class:`GatherBatchOp` per leaf.  ``srcs``
+        entries are ``SimArray`` or ``(SimArray, offset)`` pairs.
+
+        Indices outside ``[dense_lo, dense_hi)`` (where the gather pattern
+        would read out of bounds, e.g. a stencil's rim) instead run
+        ``edge_body(ctx, i)`` — the original generator body — followed by
+        the element's store, preserving the boundary elements' exact ops.
+        """
+        arr = yield from self.alloc_array(length, elem_size, name=name)
+        region = self.rt.construct_begin(arr)
+        if dense_hi is None:
+            dense_hi = length
+        pairs = [s if isinstance(s, tuple) else (s, 0) for s in srcs]
+        pattern = [
+            (0, s.addr(0) + off * s.elem_size, s.elem_size, s.elem_size, s.heap)
+            for s, off in pairs
+        ]
+        if instrs:
+            pattern.append((2, instrs, 0, 0, None))
+        pattern.append((1, arr.addr(0), arr.elem_size, arr.elem_size, arr.heap))
+        pattern = tuple(pattern)
+
+        def chunk(c, lo, hi):
+            for i in range(lo, min(hi, dense_lo)):
+                value = yield from edge_body(c, i)
+                yield from arr.set(i, value)
+            dlo = max(lo, dense_lo)
+            dhi = min(hi, dense_hi)
+            if dhi > dlo:
+                yield GatherBatchOp(dlo, dhi - dlo, pattern)
+                arr.data[dlo:dhi] = [
+                    fn(i, *(s.data[i + off] for s, off in pairs))
+                    for i in range(dlo, dhi)
+                ]
+            for i in range(max(lo, dense_hi), hi):
+                value = yield from edge_body(c, i)
+                yield from arr.set(i, value)
+
+        yield from self.parallel_for_chunks(0, length, chunk, grain)
+        self.rt.construct_end(region)
+        return arr
+
     def map_array(
         self,
         src: SimArray,
@@ -128,14 +251,16 @@ class TaskContext:
         cost: int = 1,
         name: str = "map",
     ):
-        """``out[i] = fn(src[i])`` with ``cost`` compute instrs per element."""
+        """``out[i] = fn(src[i])`` with ``cost`` compute instrs per element.
 
-        def body(c, i):
-            value = yield from src.get(i)
-            yield ComputeOp(cost)
-            return fn(value)
-
-        out = yield from self.tabulate(len(src), body, grain, src.elem_size, name)
+        Stream-identical to a :meth:`tabulate` whose body loads ``src[i]``,
+        computes ``cost`` instrs, and returns ``fn(value)`` — coalesced via
+        :meth:`tabulate_gather`.
+        """
+        out = yield from self.tabulate_gather(
+            len(src), [src], lambda i, value: fn(value),
+            grain, src.elem_size, name, instrs=cost,
+        )
         return out
 
     def reduce(
@@ -169,6 +294,43 @@ class TaskContext:
         yield ComputeOp(1)
         return combine(left, right)
 
+    def reduce_array(
+        self,
+        arr: SimArray,
+        lo: int,
+        hi: int,
+        combine: Callable[[Any, Any], Any],
+        grain: int = DEFAULT_GRAIN,
+    ):
+        """Coalesced :meth:`reduce` over the elements of ``arr``.
+
+        Stream-identical to ``reduce(lo, hi, lambda c, i: arr.get(i),
+        combine, grain)``: leaves load their first element, then retire the
+        remaining ``[Load, ComputeOp(1)]`` pairs as one fused batch and
+        fold host-side; the fork tree and internal combine ops match
+        :meth:`reduce` exactly.
+        """
+        n = hi - lo
+        if n <= 0:
+            raise ValueError("reduce needs a non-empty range")
+        if n <= grain:
+            acc = yield from arr.get(lo)
+            if n > 1:
+                yield LoadBatchOp(
+                    arr.addr(lo + 1), arr.elem_size, n - 1, arr.elem_size,
+                    heap=arr.heap, instrs=1,
+                )
+                for value in arr.data[lo + 1:hi]:
+                    acc = combine(acc, value)
+            return acc
+        mid = lo + n // 2
+        left, right = yield from self.par(
+            lambda c: c.reduce_array(arr, lo, mid, combine, grain),
+            lambda c: c.reduce_array(arr, mid, hi, combine, grain),
+        )
+        yield ComputeOp(1)
+        return combine(left, right)
+
     def filter_array(
         self,
         src: SimArray,
@@ -191,14 +353,16 @@ class TaskContext:
         counts_region = self.rt.construct_begin(counts)
 
         def count_chunk(c, ci):
+            # Coalesced: the dense [Load, ComputeOp(1)]-per-element loop
+            # retires as one fused batch (stream-identical), with the
+            # predicate evaluated host-side.
             lo = ci * grain
             hi = min(lo + grain, n)
-            kept = 0
-            for i in range(lo, hi):
-                value = yield from src.get(i)
-                yield ComputeOp(1)
-                if pred(value):
-                    kept += 1
+            yield LoadBatchOp(
+                src.addr(lo), src.elem_size, hi - lo, src.elem_size,
+                heap=src.heap, instrs=1,
+            )
+            kept = sum(1 for value in src.data[lo:hi] if pred(value))
             yield from counts.set(ci, kept)
 
         yield from self.parallel_for(0, nchunks, count_chunk, grain=1)

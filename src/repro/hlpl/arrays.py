@@ -15,9 +15,19 @@ from repro.sim.ops import LoadOp, RmwOp, StoreOp
 
 
 class SimArray:
-    """A fixed-length array of ``elem_size``-byte elements in a heap."""
+    """A fixed-length array of ``elem_size``-byte elements in a heap.
 
-    __slots__ = ("base", "length", "elem_size", "heap", "data", "name")
+    Each accessor reuses a single per-array op instance instead of
+    allocating one per call: the engine consumes a yielded op synchronously
+    (its fields are read before any other strand — or a later access on
+    this array — can run), so mutating the shared instance in place is
+    safe and removes the dominant allocation on the simulator hot path.
+    """
+
+    __slots__ = (
+        "base", "length", "elem_size", "heap", "data", "name",
+        "_load_op", "_store_op", "_rmw_op",
+    )
 
     def __init__(
         self,
@@ -38,6 +48,9 @@ class SimArray:
         self.heap = heap
         self.data: List[Any] = [fill] * length
         self.name = name
+        self._load_op = LoadOp(base, elem_size, heap=heap)
+        self._store_op = StoreOp(base, elem_size, heap=heap)
+        self._rmw_op = RmwOp(base, elem_size, heap=heap)
 
     # ------------------------------------------------------------------
     def addr(self, index: int) -> int:
@@ -63,19 +76,26 @@ class SimArray:
     def get(self, index: int, spin: bool = False):
         """Load element ``index``."""
         self._check(index)
-        yield LoadOp(self.addr(index), self.elem_size, heap=self.heap, spin=spin)
+        op = self._load_op
+        op.addr = self.base + index * self.elem_size
+        op.spin = spin
+        yield op
         return self.data[index]
 
     def set(self, index: int, value: Any):
         """Store ``value`` into element ``index``."""
         self._check(index)
-        yield StoreOp(self.addr(index), self.elem_size, heap=self.heap)
+        op = self._store_op
+        op.addr = self.base + index * self.elem_size
+        yield op
         self.data[index] = value
 
     def cas(self, index: int, expected: Any, new: Any):
         """Atomic compare-and-swap; returns True on success."""
         self._check(index)
-        yield RmwOp(self.addr(index), self.elem_size, heap=self.heap)
+        op = self._rmw_op
+        op.addr = self.base + index * self.elem_size
+        yield op
         if self.data[index] == expected:
             self.data[index] = new
             return True
@@ -84,7 +104,9 @@ class SimArray:
     def fetch_add(self, index: int, delta: Any):
         """Atomic fetch-and-add; returns the previous value."""
         self._check(index)
-        yield RmwOp(self.addr(index), self.elem_size, heap=self.heap)
+        op = self._rmw_op
+        op.addr = self.base + index * self.elem_size
+        yield op
         old = self.data[index]
         self.data[index] = old + delta
         return old

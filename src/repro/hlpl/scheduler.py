@@ -17,6 +17,10 @@ from typing import List
 
 from repro.common.types import AccessType
 
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
+_RMW = AccessType.RMW
+
 BACKOFF_MIN = 64
 #: capped low: long backoffs make steal latency (and thus the critical path)
 #: jitter by thousands of cycles, drowning protocol effects in noise
@@ -46,6 +50,22 @@ class WorkStealingScheduler:
             machine.place(self.top_addr[t], bs, t)
             machine.place(self.flag_addr[t], bs, t)
         self._backoff = [BACKOFF_MIN] * nthreads
+        #: mirror the engine's epoch knob: scheduler deque/spin accesses are
+        #: overwhelmingly private hits, so route them through the epoch fast
+        #: path (identical statistical effects; see try_fast_access) unless
+        #: REPRO_EPOCH_BATCH=0 asks for the pure reference access path
+        self._fast_touch = getattr(rt.engine, "epoch_batch", False)
+        # hoisted hot-path handles (all stable for the machine's lifetime;
+        # on_idle dominates simulated idle time, so attribute chains matter)
+        self._machine = machine
+        self._cores = machine.cores
+        self._core_of = machine._core_of
+        self._try_fast = machine.protocol.try_fast_access
+        self._tracer = machine.tracer
+        self._nthreads = nthreads
+        config = machine.config
+        self._per_socket = config.cores_per_socket * config.threads_per_core
+        self._num_sockets = config.num_sockets
         # Deterministic per-worker victim choice (xorshift-style LCG),
         # perturbed by the run seed so harnesses can average out
         # steal-timing noise across runs.
@@ -60,10 +80,9 @@ class WorkStealingScheduler:
         state = self._rng_state[thread]
         state = (state * 1103515245 + 12345) & 0xFFFFFFFF
         self._rng_state[thread] = state
-        nthreads = len(self.deques)
-        config = self.rt.machine.config
-        per_socket = config.cores_per_socket * config.threads_per_core
-        if config.num_sockets > 1 and state & 0x3 == 0:
+        nthreads = self._nthreads
+        per_socket = self._per_socket
+        if self._num_sockets > 1 and state & 0x3 == 0:
             # remote probe: uniform over all other threads
             victim = (state >> 2) % (nthreads - 1)
             if victim >= thread:
@@ -79,19 +98,31 @@ class WorkStealingScheduler:
         return local
 
     def _touch(self, thread: int, addr: int, atype, spin: bool = False) -> None:
-        if self.model_traffic:
-            self.rt.machine.access(thread, addr, 8, atype, spin=spin)
-        else:
-            self.rt.machine.cores[thread].advance(4)
+        if not self.model_traffic:
+            self._cores[thread].advance(4)
+            return
+        # Deque words and spin flags are overwhelmingly private hits, so
+        # take the epoch fast path (identical statistical effects) when the
+        # tracer doesn't need per-access events; atomics always fall
+        # through (try_fast_access declines RMWs).
+        if self._fast_touch and not self._tracer.enabled:
+            latency = self._try_fast(self._core_of[thread], addr, 8, atype)
+            if latency is not None:
+                cm = self._cores[thread]
+                if atype is _LOAD:
+                    cm.load(latency, spin=spin)
+                else:
+                    cm.store(latency)
+                return
+        self._machine.access(thread, addr, 8, atype, spin=spin)
 
     # ------------------------------------------------------------------
     def push(self, thread: int, strand) -> None:
         """Owner pushes a ready strand at the bottom of its own deque."""
-        machine = self.rt.machine
-        strand.ready_clock = machine.cores[thread].clock
+        strand.ready_clock = self._cores[thread].clock
         self.deques[thread].append(strand)
         self.total_ready += 1
-        self._touch(thread, self.bottom_addr[thread], AccessType.STORE)
+        self._touch(thread, self.bottom_addr[thread], _STORE)
 
     # ------------------------------------------------------------------
     # Engine interface
@@ -103,17 +134,15 @@ class WorkStealingScheduler:
 
     def on_idle(self, worker) -> None:
         thread = worker.thread
-        machine = self.rt.machine
-        core = machine.cores[thread]
-        stats = core.stats
+        core = self._cores[thread]
 
         # 1. Own deque: pop the newest task (bottom).
-        self._touch(thread, self.bottom_addr[thread], AccessType.LOAD)
+        self._touch(thread, self.bottom_addr[thread], _LOAD)
         own = self.deques[thread]
         if own:
             strand = own.pop()
             self.total_ready -= 1
-            self._touch(thread, self.bottom_addr[thread], AccessType.STORE)
+            self._touch(thread, self.bottom_addr[thread], _STORE)
             self._assign(worker, strand)
             return
 
@@ -121,15 +150,15 @@ class WorkStealingScheduler:
         #    probes a single victim per attempt, then backs off briefly).
         if self.total_ready > 0 and len(self.deques) > 1:
             victim = self._next_victim(thread)
-            stats.steal_attempts += 1
-            self._touch(thread, self.top_addr[victim], AccessType.LOAD)
+            core.stats.steal_attempts += 1
+            self._touch(thread, self.top_addr[victim], _LOAD)
             vdeque = self.deques[victim]
-            tracer = machine.tracer
+            tracer = self._tracer
             if vdeque:
-                self._touch(thread, self.top_addr[victim], AccessType.RMW)
+                self._touch(thread, self.top_addr[victim], _RMW)
                 strand = vdeque.popleft()
                 self.total_ready -= 1
-                stats.successful_steals += 1
+                core.stats.successful_steals += 1
                 if tracer.enabled:
                     tracer.steal(core.clock, thread, victim, True)
                 self._assign(worker, strand)
@@ -140,13 +169,14 @@ class WorkStealingScheduler:
             return
 
         # 3. Nothing to do: spin on a local flag with exponential backoff.
-        self._touch(thread, self.flag_addr[thread], AccessType.LOAD, spin=True)
-        core.advance(self._backoff[thread])
-        self._backoff[thread] = min(self._backoff[thread] * 2, BACKOFF_MAX)
+        self._touch(thread, self.flag_addr[thread], _LOAD, spin=True)
+        backoff = self._backoff
+        core.advance(backoff[thread])
+        backoff[thread] = min(backoff[thread] * 2, BACKOFF_MAX)
 
     # ------------------------------------------------------------------
     def _assign(self, worker, strand) -> None:
-        core = self.rt.machine.cores[worker.thread]
+        core = self._cores[worker.thread]
         if strand.ready_clock > core.clock:
             # Causality: a strand cannot run before it was made ready.
             core.clock = strand.ready_clock

@@ -28,6 +28,13 @@ class LinkClass(enum.Enum):
     SOCKET = "socket"
     MEMORY = "memory"
 
+    __hash__ = object.__hash__  # identity hash (see common.types)
+
+
+_LOCAL = LinkClass.LOCAL
+_INTRA = LinkClass.INTRA
+_SOCKET = LinkClass.SOCKET
+
 
 class Interconnect:
     """Computes hop latencies and records traffic between topology points."""
@@ -49,19 +56,25 @@ class Interconnect:
             LinkClass.SOCKET: config.cross_socket_latency(),
             LinkClass.MEMORY: config.dram_latency,
         }
+        #: link -> (link.value, latency): one lookup per message instead of
+        #: a latency lookup plus a .value descriptor call
+        self._link_info = {
+            link: (link.value, lat) for link, lat in self._latency.items()
+        }
 
     # ------------------------------------------------------------------
     def link_between_cores(self, core_a: int, core_b: int) -> LinkClass:
         if core_a == core_b:
-            return LinkClass.LOCAL
-        if self._socket_of_core[core_a] == self._socket_of_core[core_b]:
-            return LinkClass.INTRA
-        return LinkClass.SOCKET
+            return _LOCAL
+        socket_of = self._socket_of_core
+        if socket_of[core_a] == socket_of[core_b]:
+            return _INTRA
+        return _SOCKET
 
     def link_core_to_socket(self, core: int, socket: int) -> LinkClass:
         if self._socket_of_core[core] == socket:
-            return LinkClass.INTRA
-        return LinkClass.SOCKET
+            return _INTRA
+        return _SOCKET
 
     def latency(self, link: LinkClass) -> int:
         return self._latency[link]
@@ -69,26 +82,27 @@ class Interconnect:
     # ------------------------------------------------------------------
     def send(self, mtype: MessageType, link: LinkClass, count: int = 1) -> int:
         """Record ``count`` messages on ``link``; return one-way latency."""
-        self.stats.messages[(mtype, link.value)] += count
+        value, lat = self._link_info[link]
+        self.stats.messages[(mtype, value)] += count
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
-            tracer.message(mtype.value, link.value, count)
-        return self._latency[link]
+            tracer.message(mtype.value, value, count)
+        return lat
 
     def core_to_home(self, core: int, home_socket: int, mtype: MessageType) -> int:
         """Send a request from a core's private cache to a home LLC slice."""
         link = (
-            LinkClass.INTRA
+            _INTRA
             if self._socket_of_core[core] == home_socket
-            else LinkClass.SOCKET
+            else _SOCKET
         )
         return self.send(mtype, link)
 
     def home_to_core(self, home_socket: int, core: int, mtype: MessageType) -> int:
         link = (
-            LinkClass.INTRA
+            _INTRA
             if self._socket_of_core[core] == home_socket
-            else LinkClass.SOCKET
+            else _SOCKET
         )
         return self.send(mtype, link)
 

@@ -85,6 +85,12 @@ class CoreModel:
         self.clock += latency
         self.stats.rmws += 1
 
+    def store_buffer_depth(self) -> int:
+        """Stores still in flight at the current clock (test/debug helper;
+        drains completed entries first, like the issue paths do)."""
+        self._drain_store_buffer()
+        return len(self._store_buffer)
+
     def compute(self, instrs: int) -> None:
         self.clock += instrs
         self.stats.compute_instrs += instrs

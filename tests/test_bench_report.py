@@ -1,0 +1,129 @@
+"""Bench report schema accessors and baseline comparison logic.
+
+All synthetic reports — no simulation; see tests/test_epoch.py and the
+perf-smoke CI job for measured-throughput coverage.
+"""
+
+from repro.analysis.bench import (
+    compare_to_baseline,
+    comparison_entries,
+    host_meta,
+)
+
+
+def _row(benchmark, protocol, size, wall_s, instructions):
+    return {
+        "benchmark": benchmark,
+        "protocol": protocol,
+        "size": size,
+        "wall_s": wall_s,
+        "instructions": instructions,
+        "steps_per_second": instructions / wall_s,
+    }
+
+
+def _report(rows, **extra):
+    wall = sum(r["wall_s"] for r in rows)
+    instrs = sum(r["instructions"] for r in rows)
+    report = {
+        "schema": 2,
+        "suite": "full",
+        "machine": "dual-socket",
+        "runs": rows,
+        "totals": {
+            "wall_s": wall,
+            "instructions": instrs,
+            "steps_per_second": instrs / wall,
+        },
+        "meta": {"python": "3.11.0"},
+    }
+    report.update(extra)
+    return report
+
+
+class TestSchemaAccessors:
+    def test_schema2_host_meta_lives_in_meta(self):
+        report = _report([_row("fib", "MESI", "small", 1.0, 1000)])
+        report["meta"]["host_cpus"] = 4
+        assert host_meta(report)["host_cpus"] == 4
+
+    def test_schema1_host_keys_read_from_comparisons(self):
+        # schema-1 reports stashed host_cpus/note next to the real entries
+        report = _report(
+            [_row("fib", "MESI", "small", 1.0, 1000)],
+            comparisons={
+                "host_cpus": 1,
+                "note": "legacy layout",
+                "fig8_matrix_small": {"serial_s": 9.8},
+            },
+        )
+        del report["meta"]
+        meta = host_meta(report)
+        assert meta["host_cpus"] == 1
+        assert meta["note"] == "legacy layout"
+
+    def test_meta_wins_over_legacy_keys(self):
+        report = _report(
+            [_row("fib", "MESI", "small", 1.0, 1000)],
+            comparisons={"host_cpus": 1},
+        )
+        report["meta"]["host_cpus"] = 8
+        assert host_meta(report)["host_cpus"] == 8
+
+    def test_comparison_entries_filters_host_keys(self):
+        report = _report(
+            [_row("fib", "MESI", "small", 1.0, 1000)],
+            comparisons={
+                "host_cpus": 1,
+                "note": "x",
+                "fig8_matrix_small": {"serial_s": 9.8},
+                "epoch_batched_vs_pr2": {"speedup": 1.5},
+            },
+        )
+        entries = comparison_entries(report)
+        assert set(entries) == {"fig8_matrix_small", "epoch_batched_vs_pr2"}
+
+    def test_reports_without_comparisons(self):
+        report = _report([_row("fib", "MESI", "small", 1.0, 1000)])
+        assert comparison_entries(report) == {}
+        assert host_meta(report) == report["meta"]
+
+
+class TestCompareToBaseline:
+    def test_same_suite_uses_totals(self):
+        rows = [_row("fib", "MESI", "small", 1.0, 1000)]
+        ok, msg = compare_to_baseline(_report(rows), _report(rows))
+        assert ok
+        assert "[totals]" in msg
+
+    def test_regression_detected(self):
+        fast = [_row("fib", "MESI", "small", 1.0, 1000)]
+        slow = [_row("fib", "MESI", "small", 2.0, 1000)]
+        ok, msg = compare_to_baseline(_report(slow), _report(fast), 0.30)
+        assert not ok
+        assert msg.startswith("REGRESSION")
+
+    def test_quick_vs_full_compares_matching_rows_only(self):
+        quick_rows = [_row("fib", "MESI", "small", 1.0, 1000)]
+        full_rows = [
+            _row("fib", "MESI", "small", 1.0, 1000),
+            # an extra, much faster row that would flatter the full totals
+            _row("quickhull", "MESI", "small", 0.1, 10_000),
+        ]
+        ok, msg = compare_to_baseline(_report(quick_rows), _report(full_rows))
+        assert ok  # identical on the matched row; totals would say 0.02x
+        assert "1 matching baseline rows" in msg
+
+    def test_no_matching_rows_falls_back_to_totals(self):
+        quick = [_row("fib", "MESI", "small", 1.0, 1000)]
+        other = [_row("grep", "WARDen", "test", 1.0, 1000)]
+        ok, msg = compare_to_baseline(_report(quick), _report(other))
+        assert ok
+        assert "[totals]" in msg
+
+    def test_empty_baseline_skips(self):
+        report = _report([_row("fib", "MESI", "small", 1.0, 1000)])
+        baseline = {"totals": {"steps_per_second": 0}, "runs": []}
+        ok, msg = compare_to_baseline(report, baseline)
+        assert ok
+        assert "skipping" in msg

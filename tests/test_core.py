@@ -4,6 +4,10 @@ import pytest
 
 from repro.common.config import dual_socket
 from repro.sim.core import CoreModel
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.ops import StoreBatchOp, StoreOp
+from tests.conftest import tiny_config
 
 
 @pytest.fixture
@@ -60,6 +64,79 @@ class TestStoreBuffer:
         core.store(1000)
         core.store(1)  # completes AFTER the first (TSO ordering)
         assert list(core._store_buffer) == sorted(core._store_buffer)
+
+
+class TestStoreBufferAccounting:
+    def test_fill_stall_charges_exact_cycles(self, core):
+        cap = core.config.store_buffer_entries
+        for _ in range(cap):
+            core.store(10_000)
+        oldest = core._store_buffer[0]
+        clock_before = core.clock
+        core.store(10_000)
+        # the stall is exactly the wait for the oldest entry to drain,
+        # plus the usual 1-cycle issue
+        assert core.stats.store_buffer_stall_cycles == oldest - clock_before
+        assert core.clock == oldest + 1
+
+    def test_depth_tracks_issue_and_drain(self, core):
+        core.store(50)
+        core.store(50)
+        assert core.store_buffer_depth() == 2
+        core.compute(200)  # clock passes both completions
+        assert core.store_buffer_depth() == 0
+
+    def test_load_time_drains_buffer_before_next_store(self, core):
+        cap = core.config.store_buffer_entries
+        for _ in range(cap):
+            core.store(40)
+        core.load(2000)  # blocking load: buffered stores complete meanwhile
+        core.store(40)
+        assert core.stats.store_buffer_stall_cycles == 0
+
+    def test_drain_preserves_fifo_order(self, core):
+        core.store(100)
+        core.store(200)
+        core.store(300)
+        # TSO: later stores cannot complete before earlier ones
+        completions = list(core._store_buffer)
+        assert completions == sorted(completions)
+        assert len(set(completions)) == 3
+        core.compute(completions[0] - core.clock)
+        # draining removes a prefix, never a middle entry
+        core._drain_store_buffer()
+        assert list(core._store_buffer) == completions[1:]
+
+    def test_batched_stores_charge_same_stalls_as_scalar(self):
+        """StoreBatchOp retirement must hit the same store()/compute()
+        sequence — and therefore the same fill stalls — as per-op stepping."""
+        count = 2 * dual_socket().store_buffer_entries + 8
+
+        def run(batched):
+            machine = Machine(tiny_config(), "mesi")
+            engine = Engine(machine)
+            base = machine.sbrk(64 * count)
+
+            def kern():
+                if batched:
+                    yield StoreBatchOp(base, 64, count, 8)
+                else:
+                    for i in range(count):
+                        yield StoreOp(base + 64 * i, 8)
+
+            engine.pin(0, kern())
+            engine.run()
+            return machine.cores[0]
+
+        scalar = run(batched=False)
+        fused = run(batched=True)
+        assert scalar.stats.store_buffer_stall_cycles > 0
+        assert (
+            fused.stats.store_buffer_stall_cycles
+            == scalar.stats.store_buffer_stall_cycles
+        )
+        assert fused.clock == scalar.clock
+        assert fused.stats.stores == scalar.stats.stores
 
 
 class TestRmw:
