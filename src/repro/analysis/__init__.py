@@ -1,13 +1,30 @@
 """Experiment drivers: run benchmarks, compute the paper's metrics, render
-tables for every figure."""
+tables for every figure.  The run matrix (:func:`run_matrix`) is
+fault-tolerant — see :mod:`repro.analysis.pool` for timeouts, retries,
+pool re-spawn, serial fallback and checkpoint/resume, and
+:mod:`repro.analysis.faults` for the deterministic fault injection that
+tests it."""
 
 from repro.analysis.metrics import ComparisonMetrics, compare
-from repro.analysis.run import BenchResult, run_benchmark, run_pair
+from repro.analysis.pool import (
+    DiskCache,
+    MatrixJournal,
+    MatrixReport,
+    RunTask,
+    run_matrix,
+)
+from repro.analysis.run import BenchResult, run_benchmark, run_pair, run_pairs
 
 __all__ = [
     "BenchResult",
     "ComparisonMetrics",
+    "DiskCache",
+    "MatrixJournal",
+    "MatrixReport",
+    "RunTask",
     "compare",
     "run_benchmark",
+    "run_matrix",
     "run_pair",
+    "run_pairs",
 ]

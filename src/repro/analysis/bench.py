@@ -23,6 +23,15 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+import hashlib
+
+from repro.analysis.pool import (
+    DEFAULT_CACHE_DIR,
+    MatrixReport,
+    RunTask,
+    config_fingerprint,
+    run_task_robust,
+)
 from repro.analysis.run import run_benchmark
 from repro.common.config import MachineConfig, dual_socket
 
@@ -57,54 +66,158 @@ FULL_SUITE: List[Tuple[str, str]] = QUICK_SUITE + [
 ]
 
 
+class BenchJournal:
+    """Append-only JSONL checkpoint of completed bench rows.
+
+    The bench suite's analogue of :class:`~repro.analysis.pool.MatrixJournal`:
+    each completed row (a timed run dict) is appended as one JSON line to
+    ``journal-bench-<suite-fingerprint>.jsonl`` under ``.warden-cache``, so
+    ``bench --resume`` re-times only the rows an interrupted run never
+    finished.  Timings are wall-clock (not bit-reproducible), so resumed
+    rows keep their original measurement.
+    """
+
+    def __init__(self, fingerprint: str, directory=DEFAULT_CACHE_DIR) -> None:
+        self.path = Path(directory) / f"journal-bench-{fingerprint}.jsonl"
+
+    @staticmethod
+    def row_key(row: Dict) -> str:
+        return f"{row['benchmark']}|{row['protocol']}|{row['size']}"
+
+    def load(self) -> Dict[str, Dict]:
+        out: Dict[str, Dict] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return out
+        for line in lines:
+            try:
+                row = json.loads(line)
+                out[self.row_key(row)] = row
+            except Exception:
+                continue
+        return out
+
+    def append(self, row: Dict) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def remove(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def _suite_fingerprint(
+    suite: List[Tuple[str, str]], config: MachineConfig, repeats: int
+) -> str:
+    payload = json.dumps(
+        {"suite": suite, "config": config_fingerprint(config), "repeats": repeats}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 def run_bench_suite(
     quick: bool = False,
     config: Optional[MachineConfig] = None,
     repeats: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    resume: bool = False,
+    report: Optional[MatrixReport] = None,
 ) -> Dict:
     """Time the bench suite; return the report dict (see BENCH_SCHEMA).
 
     Every run bypasses both caches — the point is to measure simulation,
     not cache lookups.  With ``repeats > 1`` each row is run that many
     times and the *fastest* wall-clock is kept (standard noise floor).
+
+    ``timeout``/``retries`` run each row through the robust single-task
+    path (:func:`~repro.analysis.pool.run_task_robust`; with a timeout each
+    attempt gets a fresh single-worker process, and the row's wall-clock is
+    measured inside that process so pool spawn overhead never pollutes the
+    throughput numbers).  ``resume`` checkpoints completed rows to a
+    :class:`BenchJournal` and skips them on re-run.
     """
     config = config if config is not None else dual_socket()
     suite = QUICK_SUITE if quick else FULL_SUITE
+    robust = timeout is not None or retries > 0
+    journal: Optional[BenchJournal] = None
+    done: Dict[str, Dict] = {}
+    if resume:
+        journal = BenchJournal(_suite_fingerprint(suite, config, repeats))
+        done = journal.load()
+        if done and report is not None:
+            report.resumed += len(done)
+            report.record(
+                "resume", -1, 0, detail=f"{len(done)} bench rows from journal"
+            )
     runs = []
+    row_index = 0
     for name, size in suite:
         for protocol in ("mesi", "warden"):
+            row_index += 1
+            key = f"{name}|{protocol}|{size}"
+            if key in done:
+                runs.append(done[key])
+                continue
             best_wall = None
             result = None
             for _ in range(max(1, repeats)):
-                t0 = time.perf_counter()
-                result = run_benchmark(
-                    name,
-                    protocol,
-                    config,
-                    size=size,
-                    use_cache=False,
-                    use_disk_cache=False,
-                )
-                wall = time.perf_counter() - t0
+                if robust:
+                    task = RunTask(
+                        benchmark=name,
+                        protocol=protocol,
+                        config=config,
+                        size=size,
+                        use_cache=False,
+                    )
+                    result, wall = run_task_robust(
+                        task,
+                        timeout=timeout,
+                        retries=retries,
+                        report=report,
+                        index=row_index - 1,
+                    )
+                else:
+                    t0 = time.perf_counter()
+                    result = run_benchmark(
+                        name,
+                        protocol,
+                        config,
+                        size=size,
+                        use_cache=False,
+                        use_disk_cache=False,
+                    )
+                    wall = time.perf_counter() - t0
                 if best_wall is None or wall < best_wall:
                     best_wall = wall
             stats = result.stats
-            runs.append(
-                {
-                    "benchmark": name,
-                    "protocol": result.protocol,
-                    "size": size,
-                    "wall_s": best_wall,
-                    "instructions": stats.instructions,
-                    "cycles": stats.cycles,
-                    "steps_per_second": stats.instructions / best_wall
-                    if best_wall
-                    else 0.0,
-                }
-            )
+            row = {
+                "benchmark": name,
+                "protocol": result.protocol,
+                "size": size,
+                "wall_s": best_wall,
+                "instructions": stats.instructions,
+                "cycles": stats.cycles,
+                "steps_per_second": stats.instructions / best_wall
+                if best_wall
+                else 0.0,
+            }
+            runs.append(row)
+            if journal is not None:
+                journal.append(row)
+    if journal is not None:
+        journal.remove()
     total_wall = sum(r["wall_s"] for r in runs)
     total_instrs = sum(r["instructions"] for r in runs)
-    return {
+    out = {
         "schema": BENCH_SCHEMA,
         "suite": "quick" if quick else "full",
         "machine": config.name,
@@ -121,6 +234,9 @@ def run_bench_suite(
             "host_cpus": os.cpu_count(),
         },
     }
+    if report is not None and not report.clean:
+        out["robustness"] = report.to_dict()
+    return out
 
 
 def host_meta(report: Dict) -> Dict:

@@ -1,10 +1,31 @@
-"""Parallel run fan-out and the persistent on-disk result cache.
+"""Parallel run fan-out, the persistent result cache, and the robustness
+layer that keeps a long (benchmark x protocol x seed) sweep alive.
 
-The (benchmark x protocol x seed) matrix behind every figure harness is
-embarrassingly parallel: each simulation is a deterministic, isolated
-process-sized unit of work.  :func:`run_matrix` fans the matrix out over a
+The matrix behind every figure harness is embarrassingly parallel: each
+simulation is a deterministic, isolated process-sized unit of work.
+:func:`run_matrix` fans the matrix out over a
 :class:`~concurrent.futures.ProcessPoolExecutor` and merges results in task
-order, so the output is bit-identical to a serial sweep.
+order, so the output is bit-identical to a serial sweep.  On top of the
+fan-out sits a fault-tolerant scheduler:
+
+* **per-task timeouts** — a hung worker is killed, the pool re-spawned,
+  and the task retried (:class:`~repro.common.errors.TaskTimeoutError`
+  once the retry budget is spent);
+* **bounded retry** with exponential backoff and *seeded* jitter, so a
+  retried sweep sleeps the same amount every time it is replayed;
+* **``BrokenProcessPool`` recovery** — a crashed worker triggers a pool
+  re-spawn (bounded by ``max_respawns``), then graceful degradation to
+  serial execution when workers keep dying;
+* **checkpoint/resume** — completed tasks are journaled to
+  ``.warden-cache/journal-<matrix-fingerprint>.jsonl`` as they finish, so
+  an interrupted matrix resumes from the journal with bit-identical
+  merged results.
+
+Robustness events (retries, timeouts, respawns, fallback) are recorded in
+a :class:`MatrixReport` as typed :class:`~repro.obs.tracer.MatrixEvent`
+objects, optionally mirrored into any ``repro.obs`` sink, and surfaced in
+run manifests.  Deterministic fault injection for all of the above lives
+in :mod:`repro.analysis.faults`.
 
 :class:`DiskCache` makes the sweep incremental across invocations: results
 live in ``.warden-cache/`` keyed by a content hash of the *full*
@@ -22,16 +43,23 @@ import hashlib
 import json
 import os
 import pickle
+import random
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import repro
+from repro.analysis import faults
 from repro.common.config import MachineConfig
+from repro.common.errors import PoolError, TaskTimeoutError
 from repro.common.stats import RunStats
 from repro.hlpl.policy import MarkingPolicy
+from repro.obs.tracer import MatrixEvent
 
 #: default location of the persistent result cache (relative to the cwd)
 DEFAULT_CACHE_DIR = ".warden-cache"
@@ -89,7 +117,13 @@ def _reset_code_fingerprint() -> None:
 
 @dataclass(frozen=True)
 class RunTask:
-    """One (benchmark, protocol, config, size, seed, policy) simulation."""
+    """One (benchmark, protocol, config, size, seed, policy) simulation.
+
+    ``use_cache=False`` makes the task bypass both the in-process and the
+    persistent result cache (the bench suite measures simulation, not
+    cache lookups); it does not participate in the task fingerprint — a
+    run is the same run however it was served.
+    """
 
     benchmark: str
     protocol: str
@@ -98,6 +132,7 @@ class RunTask:
     seed: int = 42
     policy: MarkingPolicy = MarkingPolicy.FULL
     check_ward: bool = False
+    use_cache: bool = True
 
 
 def task_fingerprint(task: RunTask, code: Optional[str] = None) -> str:
@@ -119,6 +154,55 @@ def task_fingerprint(task: RunTask, code: Optional[str] = None) -> str:
     return _sha256(payload.encode("utf-8"))
 
 
+def matrix_fingerprint(keys: Iterable[str]) -> str:
+    """Identity of a whole run matrix (orders the journal's filename).
+
+    Hashes the ordered task fingerprints, so the same sweep — same tasks,
+    same configs, same simulator source — maps to the same journal file
+    across interrupted and resumed invocations.
+    """
+    return _sha256("\n".join(keys).encode("utf-8"))[:16]
+
+
+# ----------------------------------------------------------------------
+# Result payload (de)serialization, shared by the cache and the journal
+# ----------------------------------------------------------------------
+
+
+def encode_result(fingerprint: str, result) -> dict:
+    """One BenchResult as a JSON-safe payload dict (see CACHE_SCHEMA)."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "fingerprint": fingerprint,
+        "benchmark": result.benchmark,
+        "protocol": result.protocol,
+        "machine": result.machine,
+        "size": result.size,
+        "ward_checked": result.ward_checked,
+        "stats": result.stats.to_dict(),
+        "result": base64.b64encode(
+            pickle.dumps(result.result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+    }
+
+
+def decode_result(payload: dict):
+    """Inverse of :func:`encode_result`; raises on any mismatch."""
+    from repro.analysis.run import BenchResult
+
+    if payload["schema"] != CACHE_SCHEMA:
+        raise ValueError(f"cache schema {payload['schema']}")
+    return BenchResult(
+        benchmark=payload["benchmark"],
+        protocol=payload["protocol"],
+        machine=payload["machine"],
+        size=payload["size"],
+        stats=RunStats.from_dict(payload["stats"]),
+        result=pickle.loads(base64.b64decode(payload["result"])),
+        ward_checked=payload["ward_checked"],
+    )
+
+
 # ----------------------------------------------------------------------
 # Persistent result cache
 # ----------------------------------------------------------------------
@@ -128,8 +212,10 @@ class DiskCache:
     """Content-addressed on-disk store of :class:`BenchResult` payloads.
 
     One JSON file per entry under ``root``; writes are atomic
-    (temp file + rename), loads tolerate missing, truncated, corrupted,
-    or schema-mismatched entries by falling back to a re-run.
+    (temp file + rename) and *best-effort* — a transient ``OSError`` is
+    absorbed (counted in ``store_errors``) because the cache is an
+    optimization, never state; loads tolerate missing, truncated,
+    corrupted, or schema-mismatched entries by falling back to a re-run.
     """
 
     def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
@@ -137,6 +223,7 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.store_errors = 0
 
     def path_for(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.json"
@@ -144,22 +231,12 @@ class DiskCache:
     # ------------------------------------------------------------------
     def load(self, fingerprint: str):
         """Return the cached BenchResult for ``fingerprint``, or None."""
-        from repro.analysis.run import BenchResult
-
         path = self.path_for(fingerprint)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload["schema"] != CACHE_SCHEMA:
-                raise ValueError(f"cache schema {payload['schema']}")
-            result = BenchResult(
-                benchmark=payload["benchmark"],
-                protocol=payload["protocol"],
-                machine=payload["machine"],
-                size=payload["size"],
-                stats=RunStats.from_dict(payload["stats"]),
-                result=pickle.loads(base64.b64decode(payload["result"])),
-                ward_checked=payload["ward_checked"],
-            )
+            text = path.read_text(encoding="utf-8")
+            if faults.ACTIVE:
+                text = faults.cache_load_corruption(text)
+            result = decode_result(json.loads(text))
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -174,37 +251,46 @@ class DiskCache:
         self.hits += 1
         return result
 
-    def store(self, fingerprint: str, result) -> None:
-        """Persist ``result`` under ``fingerprint`` (atomic, last-wins)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {
-                "schema": CACHE_SCHEMA,
-                "fingerprint": fingerprint,
-                "benchmark": result.benchmark,
-                "protocol": result.protocol,
-                "machine": result.machine,
-                "size": result.size,
-                "ward_checked": result.ward_checked,
-                "stats": result.stats.to_dict(),
-                "result": base64.b64encode(
-                    pickle.dumps(result.result, protocol=pickle.HIGHEST_PROTOCOL)
-                ).decode("ascii"),
-            },
-            sort_keys=True,
-        )
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+    def store(self, fingerprint: str, result) -> bool:
+        """Persist ``result`` under ``fingerprint`` (atomic, last-wins).
+
+        Returns False when a transient filesystem error prevented the
+        write; interpreter-exit signals (``KeyboardInterrupt`` /
+        ``SystemExit``) always propagate after the temp-file cleanup —
+        they must never be swallowed on the error path.
+        """
+        payload = json.dumps(encode_result(fingerprint, result), sort_keys=True)
+        try:
+            if faults.ACTIVE:
+                faults.cache_store_fault()
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        except OSError:
+            self.store_errors += 1
+            return False
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 fh.write(payload)
             os.replace(tmp, self.path_for(fingerprint))
+        except (KeyboardInterrupt, SystemExit):
+            self._discard_tmp(tmp)
+            raise
+        except OSError:
+            self._discard_tmp(tmp)
+            self.store_errors += 1
+            return False
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self._discard_tmp(tmp)
             raise
         self.stores += 1
+        return True
+
+    @staticmethod
+    def _discard_tmp(tmp: str) -> None:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -226,14 +312,172 @@ class DiskCache:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+
+class MatrixJournal:
+    """Append-only JSONL checkpoint of a run matrix's completed tasks.
+
+    One line per completed task (the same payload layout as the disk
+    cache), keyed by *task* fingerprint — so a resumed matrix recognizes
+    completed work even if the pending subset differs between runs.  The
+    filename carries the matrix fingerprint:
+    ``<dir>/journal-<matrix-fingerprint>.jsonl``.
+    """
+
+    def __init__(self, directory: os.PathLike, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self.path = Path(directory) / f"journal-{fingerprint}.jsonl"
+
+    def load(self) -> Dict[str, object]:
+        """Task fingerprint -> BenchResult for every intact journal line.
+
+        Torn tail lines (the process died mid-append) and stale-schema
+        entries are skipped, not fatal — the matrix just re-runs them.
+        """
+        out: Dict[str, object] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return out
+        for line in lines:
+            try:
+                payload = json.loads(line)
+                out[payload["fingerprint"]] = decode_result(payload)
+            except Exception:
+                continue
+        return out
+
+    def append(self, fingerprint: str, result) -> bool:
+        """Checkpoint one completed task; best-effort (False on OSError)."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps(encode_result(fingerprint, result), sort_keys=True)
+                    + "\n"
+                )
+        except OSError:
+            return False
+        return True
+
+    def remove(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Robustness reporting
+# ----------------------------------------------------------------------
+
+
+class MatrixReport:
+    """Record of everything a robust matrix run had to survive.
+
+    Accumulates across :func:`run_matrix` invocations (one figure sweeps
+    several benchmarks), mirrors each event into an optional ``repro.obs``
+    sink, and serializes into run manifests via :meth:`to_dict`.
+    """
+
+    def __init__(self, sink=None) -> None:
+        self.sink = sink
+        self.events: List[MatrixEvent] = []
+        self.retries = 0
+        self.timeouts = 0
+        self.respawns = 0
+        self.fallbacks = 0
+        self.resumed = 0
+        self.completed = 0
+        self.faults: Optional[str] = None
+        self.fingerprints: List[str] = []
+
+    def record(
+        self, action: str, task_index: int = -1, attempt: int = 0,
+        detail: str = "",
+    ) -> MatrixEvent:
+        event = MatrixEvent(0, action, task_index, attempt, detail)
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink.emit(event)
+        if action == "retry":
+            self.retries += 1
+        elif action == "timeout":
+            self.timeouts += 1
+        elif action == "respawn":
+            self.respawns += 1
+        elif action == "fallback":
+            self.fallbacks += 1
+        return event
+
+    @property
+    def clean(self) -> bool:
+        return not self.events
+
+    def actions(self) -> List[str]:
+        return [event.action for event in self.events]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "warden-repro/matrix-report/v1",
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "respawns": self.respawns,
+            "fallbacks": self.fallbacks,
+            "resumed": self.resumed,
+            "completed": self.completed,
+            "faults": self.faults,
+            "fingerprints": list(self.fingerprints),
+            "events": [
+                {
+                    "action": e.action,
+                    "task_index": e.task_index,
+                    "attempt": e.attempt,
+                    "detail": e.detail,
+                }
+                for e in self.events
+            ],
+        }
+
+
+def _backoff_delay(
+    base: float, cap: float, seed: int, index: int, attempt: int
+) -> float:
+    """Exponential backoff with deterministic (seeded) jitter.
+
+    The jitter stream is keyed by (seed, task index, attempt), so a
+    replayed sweep backs off identically — reproducibility extends to the
+    failure path.
+    """
+    rng = random.Random(seed * 1_000_003 + index * 8191 + attempt)
+    return min(base * (2 ** max(attempt - 1, 0)), cap) * (0.5 + 0.5 * rng.random())
+
+
+# ----------------------------------------------------------------------
 # The process-pool fan-out
 # ----------------------------------------------------------------------
 
 
-def _execute_task(task: RunTask, cache_dir: Optional[str] = None):
+def _pool_worker_init(faults_spec: Optional[str] = None) -> None:
+    """Worker bootstrap: arm the ``worker.*`` fault sites in this process."""
+    faults.mark_worker()
+    if faults_spec:
+        faults.install(faults.parse_plan(faults_spec))
+
+
+def _execute_task(
+    task: RunTask,
+    cache_dir: Optional[str] = None,
+    index: Optional[int] = None,
+    attempt: int = 0,
+):
     """Run one task in the current process (pool worker entry point)."""
     from repro.analysis import run as run_mod
 
+    if faults.ACTIVE and index is not None:
+        faults.worker_faults(index, attempt)
     previous = run_mod.get_disk_cache()
     if cache_dir is not None:
         run_mod.set_disk_cache(DiskCache(cache_dir))
@@ -246,27 +490,373 @@ def _execute_task(task: RunTask, cache_dir: Optional[str] = None):
             seed=task.seed,
             policy=task.policy,
             check_ward=task.check_ward,
+            use_cache=task.use_cache,
         )
     finally:
         if cache_dir is not None:
             run_mod.set_disk_cache(previous)
 
 
+def _execute_task_timed(
+    task: RunTask,
+    cache_dir: Optional[str] = None,
+    index: Optional[int] = None,
+    attempt: int = 0,
+):
+    """Like :func:`_execute_task` but also returns the wall-clock seconds
+    the simulation took *inside* this process (excludes pool spawn/IPC —
+    the bench suite's robust mode needs clean per-row timings)."""
+    t0 = time.perf_counter()
+    result = _execute_task(task, cache_dir, index, attempt)
+    return result, time.perf_counter() - t0
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcefully tear down an executor whose workers may be hung or dead.
+
+    ``shutdown(wait=False)`` alone leaves a hung worker alive forever, so
+    the worker processes are killed first.  Reaches into executor
+    internals (``_processes``), guarded — on an interpreter where that
+    attribute moved, the shutdown still runs and the leaked worker dies
+    with the parent.
+    """
+    try:
+        processes = list(getattr(pool, "_processes", {}).values())
+    except Exception:
+        processes = []
+    for proc in processes:
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
 def run_matrix(
     tasks: Iterable[RunTask],
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    resume: bool = False,
+    journal_dir: Optional[str] = None,
+    report: Optional[MatrixReport] = None,
+    faults_plan=None,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
+    seed: int = 0,
+    max_respawns: int = 3,
+    fallback_serial: bool = True,
 ) -> List:
-    """Execute a run matrix, ``jobs`` processes wide.
+    """Execute a run matrix, ``jobs`` processes wide, fault-tolerantly.
 
     Results come back in task order regardless of completion order, so a
     parallel sweep merges deterministically — and, because every simulation
     is seeded and isolated, each ``RunStats`` is bit-identical to what the
-    serial path would produce.
+    serial path would produce.  That contract survives worker crashes,
+    hangs, and retries: a recovered matrix returns exactly the results a
+    clean serial sweep would.
+
+    Robustness knobs (all keyword-only):
+
+    * ``timeout`` — per-task seconds; a task that blows it is retried in a
+      fresh pool (the hung worker is killed).  Requires process isolation,
+      so ``timeout`` forces the pool path even for ``jobs=1``.
+    * ``retries`` — failed/timed-out attempts tolerated per task, with
+      exponential backoff and seeded jitter between attempts.
+    * ``resume`` / ``journal_dir`` — checkpoint completed tasks to
+      ``journal-<matrix-fingerprint>.jsonl`` (under ``journal_dir``,
+      ``cache_dir``, or ``.warden-cache``); with ``resume`` the journal is
+      read first and only unfinished tasks execute.  The journal is
+      removed once the whole matrix completes.
+    * ``report`` — a :class:`MatrixReport` collecting robustness events.
+    * ``faults_plan`` — a :class:`~repro.analysis.faults.FaultPlan` (or
+      its string form) for deterministic fault injection; defaults to the
+      installed plan or ``REPRO_FAULTS``.
     """
     tasks = list(tasks)
-    if jobs <= 1 or len(tasks) <= 1:
+    plan = faults.resolve_plan(faults_plan)
+    robust = (
+        timeout is not None
+        or retries > 0
+        or resume
+        or journal_dir is not None
+        or report is not None
+        or plan is not None
+    )
+    if not robust and (jobs <= 1 or len(tasks) <= 1):
         return [_execute_task(task, cache_dir) for task in tasks]
-    workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute_task, tasks, [cache_dir] * len(tasks)))
+    if report is None:
+        report = MatrixReport()
+    previous_plan = faults.install(plan) if plan is not None else None
+    try:
+        return _run_matrix_robust(
+            tasks, jobs, cache_dir, timeout, retries, resume, journal_dir,
+            report, plan, backoff_base, backoff_cap, seed, max_respawns,
+            fallback_serial,
+        )
+    finally:
+        if plan is not None:
+            faults.install(previous_plan)
+
+
+def _run_matrix_robust(
+    tasks: List[RunTask],
+    jobs: int,
+    cache_dir: Optional[str],
+    timeout: Optional[float],
+    retries: int,
+    resume: bool,
+    journal_dir: Optional[str],
+    report: MatrixReport,
+    plan,
+    backoff_base: float,
+    backoff_cap: float,
+    seed: int,
+    max_respawns: int,
+    fallback_serial: bool,
+) -> List:
+    keys = [task_fingerprint(task) for task in tasks]
+    fingerprint = matrix_fingerprint(keys)
+    report.fingerprints.append(fingerprint)
+    if plan is not None:
+        report.faults = plan.describe()
+
+    journal: Optional[MatrixJournal] = None
+    if resume or journal_dir is not None:
+        journal = MatrixJournal(
+            journal_dir or cache_dir or DEFAULT_CACHE_DIR, fingerprint
+        )
+
+    results: Dict[int, object] = {}
+    attempts = [0] * len(tasks)
+
+    if journal is not None and resume:
+        saved = journal.load()
+        for i, key in enumerate(keys):
+            if key in saved:
+                results[i] = saved[key]
+        if results:
+            report.resumed += len(results)
+            report.record(
+                "resume", -1, 0,
+                detail=f"{len(results)}/{len(tasks)} tasks from journal",
+            )
+
+    def finish(i: int, result) -> None:
+        results[i] = result
+        report.completed += 1
+        if journal is not None and not journal.append(keys[i], result):
+            report.record("journal-error", i, attempts[i])
+
+    def run_serial(indices: List[int]) -> None:
+        for i in indices:
+            while True:
+                try:
+                    finish(i, _execute_task(tasks[i], cache_dir, i, attempts[i]))
+                    break
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    attempts[i] += 1
+                    if attempts[i] > retries:
+                        raise PoolError(
+                            f"matrix task {i} ({tasks[i].benchmark}/"
+                            f"{tasks[i].protocol}) failed after "
+                            f"{attempts[i]} attempt(s): {exc!r}"
+                        ) from exc
+                    report.record("retry", i, attempts[i], detail=repr(exc))
+                    time.sleep(_backoff_delay(
+                        backoff_base, backoff_cap, seed, i, attempts[i]
+                    ))
+
+    pending = [i for i in range(len(tasks)) if i not in results]
+    use_pool = jobs > 1 or timeout is not None
+    if pending and not use_pool:
+        run_serial(pending)
+        pending = []
+
+    respawns = 0
+    faults_spec = plan.describe() if plan is not None else None
+    while pending:
+        workers = max(1, min(jobs, len(pending)))
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_worker_init,
+            initargs=(faults_spec,),
+        )
+        futures = {
+            i: pool.submit(_execute_task, tasks[i], cache_dir, i, attempts[i])
+            for i in pending
+        }
+        broken = False
+        crashed = False
+        queue = list(pending)
+        qi = 0
+        while qi < len(queue):
+            i = queue[qi]
+            try:
+                result = futures[i].result(timeout=timeout)
+            except (KeyboardInterrupt, SystemExit):
+                _kill_pool(pool)
+                raise
+            except FuturesTimeout:
+                attempts[i] += 1
+                report.record("timeout", i, attempts[i] - 1)
+                if attempts[i] > retries:
+                    _kill_pool(pool)
+                    raise TaskTimeoutError(i, timeout or 0.0)
+                # The worker is hung and occupies a slot: kill the whole
+                # pool and respawn with the remaining tasks.
+                broken = True
+                break
+            except BrokenProcessPool:
+                respawns += 1
+                crashed = True
+                report.record(
+                    "respawn", i, attempts[i], detail="BrokenProcessPool"
+                )
+                broken = True
+                break
+            except Exception as exc:
+                attempts[i] += 1
+                if attempts[i] > retries:
+                    _kill_pool(pool)
+                    raise PoolError(
+                        f"matrix task {i} ({tasks[i].benchmark}/"
+                        f"{tasks[i].protocol}) failed after "
+                        f"{attempts[i]} attempt(s): {exc!r}"
+                    ) from exc
+                report.record("retry", i, attempts[i], detail=repr(exc))
+                time.sleep(_backoff_delay(
+                    backoff_base, backoff_cap, seed, i, attempts[i]
+                ))
+                futures[i] = pool.submit(
+                    _execute_task, tasks[i], cache_dir, i, attempts[i]
+                )
+                continue  # re-wait on the same task
+            else:
+                finish(i, result)
+                qi += 1
+
+        if broken:
+            # Harvest tasks that completed before the pool broke.
+            for i in pending:
+                if i in results:
+                    continue
+                fut = futures.get(i)
+                if (
+                    fut is not None and fut.done() and not fut.cancelled()
+                    and fut.exception() is None
+                ):
+                    finish(i, fut.result())
+            _kill_pool(pool)
+            pending = [i for i in pending if i not in results]
+            if crashed:
+                # Any in-flight attempt may have been the casualty — move
+                # every unfinished task to its next attempt so a
+                # deterministic crash fault doesn't re-fire forever.
+                for i in pending:
+                    attempts[i] += 1
+                if respawns > max_respawns:
+                    if not fallback_serial:
+                        raise PoolError(
+                            f"process pool kept dying ({respawns} respawns); "
+                            "serial fallback disabled"
+                        )
+                    report.record(
+                        "fallback", -1, 0,
+                        detail=f"serial after {respawns} pool respawns",
+                    )
+                    run_serial(pending)
+                    pending = []
+        else:
+            pool.shutdown()
+            pending = [i for i in pending if i not in results]
+
+    if journal is not None:
+        journal.remove()
+    return [results[i] for i in range(len(tasks))]
+
+
+# ----------------------------------------------------------------------
+# Single-task robust execution (the bench suite's per-row wrapper)
+# ----------------------------------------------------------------------
+
+
+def run_task_robust(
+    task: RunTask,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    seed: int = 0,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
+    report: Optional[MatrixReport] = None,
+    cache_dir: Optional[str] = None,
+    index: int = 0,
+    faults_plan=None,
+) -> Tuple[object, float]:
+    """Run one task with timeout/retry protection; returns (result, wall_s).
+
+    ``wall_s`` is measured inside the executing process (no pool-spawn
+    overhead).  With a ``timeout`` each attempt runs in a fresh
+    single-worker pool — process isolation is the only way to preempt a
+    wedged simulation; without one, attempts run in-process.
+    """
+    if report is None:
+        report = MatrixReport()
+    plan = faults.resolve_plan(faults_plan)
+    previous_plan = faults.install(plan) if plan is not None else None
+    if plan is not None:
+        report.faults = plan.describe()
+    faults_spec = plan.describe() if plan is not None else None
+    try:
+        attempt = 0
+        while True:
+            try:
+                if timeout is None:
+                    return _execute_task_timed(task, cache_dir, index, attempt)
+                pool = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_pool_worker_init,
+                    initargs=(faults_spec,),
+                )
+                try:
+                    future = pool.submit(
+                        _execute_task_timed, task, cache_dir, index, attempt
+                    )
+                    result, wall = future.result(timeout=timeout)
+                except FuturesTimeout:
+                    _kill_pool(pool)
+                    raise TaskTimeoutError(index, timeout)
+                except BaseException:
+                    _kill_pool(pool)
+                    raise
+                pool.shutdown()
+                return result, wall
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                attempt += 1
+                action = (
+                    "timeout" if isinstance(exc, TaskTimeoutError) else "retry"
+                )
+                report.record(action, index, attempt - 1, detail=repr(exc))
+                if attempt > retries:
+                    if isinstance(exc, TaskTimeoutError):
+                        raise
+                    raise PoolError(
+                        f"task {task.benchmark}/{task.protocol} failed after "
+                        f"{attempt} attempt(s): {exc!r}"
+                    ) from exc
+                time.sleep(_backoff_delay(
+                    backoff_base, backoff_cap, seed, index, attempt
+                ))
+    finally:
+        if plan is not None:
+            faults.install(previous_plan)

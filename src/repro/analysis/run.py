@@ -178,6 +178,11 @@ def run_pairs(
     seeds=FIGURE_SEEDS,
     policy: MarkingPolicy = MarkingPolicy.FULL,
     jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    resume: bool = False,
+    report=None,
 ) -> List[Tuple[BenchResult, BenchResult]]:
     """Run MESI/WARDen pairs across several seeds (for figure harnesses).
 
@@ -185,9 +190,14 @@ def run_pairs(
     pool (see :mod:`repro.analysis.pool`); results merge deterministically
     and are bit-identical to the serial path, land in the in-process cache
     exactly as serial runs would, and flow through the persistent disk
-    cache when one is installed.
+    cache when one is installed.  ``timeout``/``retries``/``resume``/
+    ``report`` feed the pool's robustness layer (and force the matrix path
+    even for ``jobs=1``).
     """
-    if jobs > 1:
+    robust = (
+        timeout is not None or retries > 0 or resume or report is not None
+    )
+    if jobs > 1 or robust:
         tasks = [
             RunTask(
                 benchmark=name,
@@ -207,7 +217,13 @@ def run_pairs(
         if todo:
             cache_dir = str(_DISK_CACHE.root) if _DISK_CACHE is not None else None
             results = run_matrix(
-                [task for task, _ in todo], jobs=jobs, cache_dir=cache_dir
+                [task for task, _ in todo],
+                jobs=jobs,
+                cache_dir=cache_dir,
+                timeout=timeout,
+                retries=retries,
+                resume=resume,
+                report=report,
             )
             for (_, key), result in zip(todo, results):
                 _CACHE[key] = result

@@ -36,7 +36,7 @@ from repro.analysis.bench import (
     write_report,
 )
 from repro.analysis.metrics import compare_multi, summarize
-from repro.analysis.pool import DEFAULT_CACHE_DIR, DiskCache
+from repro.analysis.pool import DEFAULT_CACHE_DIR, DiskCache, MatrixReport
 from repro.analysis.run import run_benchmark, run_pairs, set_disk_cache
 from repro.analysis.tables import (
     figure9,
@@ -86,11 +86,36 @@ def _configure_disk_cache(args) -> None:
         set_disk_cache(DiskCache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR)))
 
 
-def _metrics_for(config, names: List[str], size: str, jobs: int = 1):
+def _metrics_for(
+    config, names: List[str], size: str, jobs: int = 1,
+    timeout: Optional[float] = None, retries: int = 0, resume: bool = False,
+    report: Optional[MatrixReport] = None,
+):
     return [
-        compare_multi(run_pairs(name, config, size=size, jobs=jobs))
+        compare_multi(run_pairs(
+            name, config, size=size, jobs=jobs,
+            timeout=timeout, retries=retries, resume=resume, report=report,
+        ))
         for name in names
     ]
+
+
+def _robustness_report(args) -> Optional[MatrixReport]:
+    """A MatrixReport when any robustness flag is in play, else None."""
+    if args.timeout is not None or args.retries or args.resume:
+        return MatrixReport()
+    return None
+
+
+def _print_robustness(report: Optional[MatrixReport]) -> None:
+    if report is None or report.clean:
+        return
+    print(
+        f"robustness: {report.retries} retries, {report.timeouts} timeouts, "
+        f"{report.respawns} pool respawns, {report.fallbacks} serial "
+        f"fallbacks, {report.resumed} tasks resumed from journal",
+        file=sys.stderr,
+    )
 
 
 def cmd_specs(_args) -> int:
@@ -136,16 +161,25 @@ _FIGURE_SPECS = {
 def cmd_figure(args) -> int:
     _configure_disk_cache(args)
     config_fn, names_fn, renderer = _FIGURE_SPECS[args.figure]
-    metrics = _metrics_for(config_fn(), names_fn(), args.size, jobs=args.jobs)
+    report = _robustness_report(args)
+    metrics = _metrics_for(
+        config_fn(), names_fn(), args.size, jobs=args.jobs,
+        timeout=args.timeout, retries=args.retries, resume=args.resume,
+        report=report,
+    )
     if args.json:
-        print(json.dumps({
+        payload = {
             "figure": args.figure,
             "size": args.size,
             "rows": [dataclasses.asdict(m) for m in metrics],
             "summary": summarize(metrics),
-        }, sort_keys=True))
+        }
+        if report is not None and not report.clean:
+            payload["robustness"] = report.to_dict()
+        print(json.dumps(payload, sort_keys=True))
     else:
         print(renderer(metrics))
+        _print_robustness(report)
     return 0
 
 
@@ -241,6 +275,12 @@ def cmd_profile(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    matrix_report = _robustness_report(args)
+    suite_kwargs = dict(
+        quick=args.quick, repeats=args.repeats,
+        timeout=args.timeout, retries=args.retries, resume=args.resume,
+        report=matrix_report,
+    )
     if args.profile:
         import cProfile
         import io
@@ -248,7 +288,7 @@ def cmd_bench(args) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-        report = run_bench_suite(quick=args.quick, repeats=args.repeats)
+        report = run_bench_suite(**suite_kwargs)
         profiler.disable()
         stream = io.StringIO()
         stats = pstats.Stats(profiler, stream=stream)
@@ -256,9 +296,10 @@ def cmd_bench(args) -> int:
         print(f"== cProfile: top {args.profile_top} by cumulative time ==")
         print(stream.getvalue())
     else:
-        report = run_bench_suite(quick=args.quick, repeats=args.repeats)
+        report = run_bench_suite(**suite_kwargs)
     write_report(args.out, report)
     print(render_report(report))
+    _print_robustness(matrix_report)
     print(f"\nreport written to {args.out}")
     if args.baseline:
         ok, message = compare_to_baseline(
@@ -285,11 +326,33 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def _add_cache_args(parser) -> None:
     parser.add_argument("--no-disk-cache", action="store_true",
                         help="do not read or write the persistent result cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help="persistent cache directory (default: %(default)s)")
+
+
+def _add_robust_args(parser) -> None:
+    """Robustness knobs shared by ``figure`` and ``bench`` (see pool.py)."""
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-task timeout; a hung simulation is killed "
+                             "and retried in a fresh worker")
+    parser.add_argument("--retries", type=_nonnegative_int, default=0,
+                        metavar="N",
+                        help="retry a failed or timed-out task up to N times "
+                             "(exponential backoff, seeded jitter)")
+    parser.add_argument("--resume", action="store_true",
+                        help="checkpoint completed tasks to a journal under "
+                             "the cache dir and resume an interrupted run "
+                             "from it")
 
 
 def _add_bench_args(parser, default_protocol: str = "warden") -> None:
@@ -325,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--jobs", type=_positive_int, default=1,
                     help="run the (protocol x seed) matrix over N processes")
     _add_cache_args(pf)
+    _add_robust_args(pf)
     pf.set_defaults(func=cmd_figure)
 
     pr = sub.add_parser("run", help="run one benchmark")
@@ -356,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--profile-top", type=_positive_int, default=25,
                     help="number of functions to show with --profile "
                          "(default: %(default)s)")
+    _add_robust_args(pb)
     pb.set_defaults(func=cmd_bench)
 
     pt = sub.add_parser(

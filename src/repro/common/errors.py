@@ -23,6 +23,45 @@ class DisentanglementError(ReproError):
     """A task used data outside its root-to-leaf heap path (paper Def. 1)."""
 
 
+class PoolError(ReproError):
+    """The parallel run matrix could not complete a task.
+
+    Raised by :func:`repro.analysis.pool.run_matrix` when a task keeps
+    failing after its retry budget, or when the process pool cannot be
+    kept alive and serial fallback is disabled.
+    """
+
+
+class TaskTimeoutError(PoolError):
+    """A run-matrix task exceeded its per-task timeout on every attempt."""
+
+    def __init__(self, task_index: int = -1, timeout: float = 0.0) -> None:
+        super().__init__(
+            f"matrix task {task_index} exceeded its {timeout:g}s timeout"
+        )
+        self.task_index = task_index
+        self.timeout = timeout
+
+    def __reduce__(self):
+        return (type(self), (self.task_index, self.timeout))
+
+
+class FaultInjected(ReproError):
+    """An error raised deliberately by :mod:`repro.analysis.faults`.
+
+    Crosses process boundaries (pool worker -> parent future), so it
+    pickles by (site, key) rather than by its formatted message.
+    """
+
+    def __init__(self, site: str = "?", key: int = -1) -> None:
+        super().__init__(f"injected fault {site!r} (key {key})")
+        self.site = site
+        self.key = key
+
+    def __reduce__(self):
+        return (type(self), (self.site, self.key))
+
+
 class WardViolationError(ReproError):
     """An access pattern violated the WARD property inside an active region.
 

@@ -37,6 +37,7 @@ from repro.obs.tracer import (
     EvictionEvent,
     EVENT_TYPES,
     ListSink,
+    MatrixEvent,
     MessageEvent,
     NullSink,
     ReconcileEvent,
@@ -54,6 +55,7 @@ __all__ = [
     "EvictionEvent",
     "LatencyHistogram",
     "ListSink",
+    "MatrixEvent",
     "MessageEvent",
     "MultiSink",
     "NullSink",

@@ -242,8 +242,17 @@ def config_dict(config: MachineConfig) -> dict:
     return dataclasses.asdict(config)
 
 
-def run_manifest(result, config: Optional[MachineConfig] = None) -> dict:
-    """Structured manifest for one :class:`~repro.analysis.run.BenchResult`."""
+def run_manifest(
+    result,
+    config: Optional[MachineConfig] = None,
+    robustness: Optional[dict] = None,
+) -> dict:
+    """Structured manifest for one :class:`~repro.analysis.run.BenchResult`.
+
+    ``robustness`` (typically ``MatrixReport.to_dict()``) records what the
+    fault-tolerant run matrix had to survive to produce the result —
+    retries, timeouts, pool respawns, serial fallback, resumed tasks.
+    """
     manifest = {
         "schema": MANIFEST_SCHEMA,
         "benchmark": result.benchmark,
@@ -256,6 +265,8 @@ def run_manifest(result, config: Optional[MachineConfig] = None) -> dict:
     }
     if config is not None:
         manifest["config"] = config_dict(config)
+    if robustness is not None:
+        manifest["robustness"] = robustness
     return manifest
 
 

@@ -151,6 +151,26 @@ class StrandEvent:
     task_id: int
 
 
+@dataclass(slots=True)
+class MatrixEvent:
+    """A run-matrix robustness event (host-side, not simulated time).
+
+    ``action`` is one of ``retry``, ``timeout``, ``respawn``, ``fallback``,
+    ``resume``, or ``fault``; ``task_index`` is the position in the matrix
+    (-1 for matrix-wide events) and ``attempt`` the 0-based attempt number.
+    ``cycle`` is always 0 — these events happen in wall-clock, outside any
+    machine's simulated clock — but the field keeps the event shape uniform
+    for collectors that bin by cycle.
+    """
+
+    kind: ClassVar[str] = "matrix"
+    cycle: int
+    action: str
+    task_index: int
+    attempt: int
+    detail: str = ""
+
+
 EVENT_TYPES = (
     AccessEvent,
     TransitionEvent,
@@ -161,6 +181,7 @@ EVENT_TYPES = (
     StoreBufferEvent,
     StealEvent,
     StrandEvent,
+    MatrixEvent,
 )
 
 

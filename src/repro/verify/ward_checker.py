@@ -15,7 +15,7 @@ own region bookkeeping via :meth:`region_added` / :meth:`region_removed`
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.common.errors import WardViolationError
 from repro.common.types import AccessType
@@ -33,8 +33,11 @@ class WardChecker:
         #: live region table (shared with a WARDenProtocol) or a private one
         self.region_table = region_table if region_table is not None else RegionTable()
         self.raise_on_violation = raise_on_violation
-        #: addr -> (writer_thread, region_id) for the current region epoch
-        self._writers: Dict[int, Tuple[int, int]] = {}
+        #: addr -> (writer_thread, ids of the regions covering the addr at
+        #: write time).  Region ids are never recycled, so a recorded id
+        #: identifies one region *epoch*: the write and a later access share
+        #: an epoch iff a recorded id is still active.
+        self._writers: Dict[int, Tuple[int, FrozenSet[int]]] = {}
         self.violations: List[WardViolationError] = []
         #: cross-thread WAW events observed inside regions (condition 2)
         self.waw_events = 0
@@ -48,6 +51,23 @@ class WardChecker:
 
     def region_removed(self, region) -> None:
         self.region_table.remove(region)
+        self._purge_epoch(region.region_id)
+
+    def _purge_epoch(self, region_id: int) -> None:
+        """Drop writer records that belonged only to the removed epoch.
+
+        Hygiene, not correctness: a stale region id can never match a live
+        region again (ids are monotonic), so lazy filtering in
+        :meth:`on_access` already gives the right answer — this just keeps
+        the write log from growing across many epochs in standalone use.
+        """
+        dead = [
+            addr
+            for addr, (_, rids) in self._writers.items()
+            if region_id in rids and len(rids) == 1
+        ]
+        for addr in dead:
+            del self._writers[addr]
 
     # ------------------------------------------------------------------
     def on_access(
@@ -60,15 +80,18 @@ class WardChecker:
     ) -> None:
         """Runtime access-monitor entry point."""
         self.checked_accesses += 1
-        region = self.region_table.lookup(addr)
-        if region is None:
+        regions = self.region_table.regions_containing(addr)
+        if not regions:
             return
-        rid = region.region_id
+        # With nested/overlapping regions an address can sit in several
+        # epochs at once; a RAW (or WAW) pairs with the write iff *any*
+        # region active at write time is still active now.
+        active = frozenset(r.region_id for r in regions)
         if atype is AccessType.LOAD:
             entry = self._writers.get(addr)
             if entry is not None:
-                writer, writer_rid = entry
-                if writer_rid == rid and writer != thread:
+                writer, writer_rids = entry
+                if writer != thread and not writer_rids.isdisjoint(active):
                     violation = WardViolationError(addr, writer, thread)
                     self.violations.append(violation)
                     if self.raise_on_violation:
@@ -76,9 +99,13 @@ class WardChecker:
             return
         # Stores and atomics: record the writer; count cross-thread WAWs.
         entry = self._writers.get(addr)
-        if entry is not None and entry[1] == rid and entry[0] != thread:
+        if (
+            entry is not None
+            and entry[0] != thread
+            and not entry[1].isdisjoint(active)
+        ):
             self.waw_events += 1
-        self._writers[addr] = (thread, rid)
+        self._writers[addr] = (thread, active)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,391 @@
+"""Chaos suite: deterministic fault injection against the robust run matrix.
+
+Every scenario arms one fault from :mod:`repro.analysis.faults` (worker
+crash, worker hang, worker failure, cache corruption, transient store
+error), runs the same small (benchmark x protocol x seed) matrix, and
+asserts the three-part contract of the robustness layer:
+
+1. the matrix *completes*,
+2. the merged ``RunStats`` are bit-identical to a clean serial run,
+3. the recovery (retry/timeout/respawn/fallback) is recorded in the
+   :class:`MatrixReport` and surfaces in the run manifest.
+
+Set ``REPRO_CHAOS_ARTIFACTS=<dir>`` to export each scenario's manifest
+(CI uploads them when the job fails).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import faults
+from repro.analysis.faults import FaultSyntaxError, parse_plan
+from repro.analysis.pool import (
+    MatrixJournal,
+    MatrixReport,
+    RunTask,
+    matrix_fingerprint,
+    run_matrix,
+    run_task_robust,
+    task_fingerprint,
+)
+from repro.analysis.run import clear_cache, run_benchmark, set_disk_cache
+from repro.common.errors import FaultInjected, PoolError, TaskTimeoutError
+from repro.obs.export import run_manifest
+from repro.obs.tracer import ListSink, MatrixEvent
+from tests.conftest import tiny_config
+
+#: a generous per-task ceiling — the injected hang sleeps far longer, and a
+#: healthy tiny run finishes in milliseconds, so the bound is unambiguous
+#: even on a loaded CI host
+TIMEOUT = 20.0
+
+#: the injected hang must outlast TIMEOUT on every attempt it covers
+HANG = 120.0
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    clear_cache()
+    previous_disk = set_disk_cache(None)
+    previous_plan = faults.uninstall()
+    yield
+    clear_cache()
+    set_disk_cache(previous_disk)
+    faults.install(previous_plan)
+
+
+def small_matrix():
+    config = tiny_config()
+    return [
+        RunTask(benchmark="fib", protocol=proto, config=config, size="test",
+                seed=seed)
+        for seed in (42, 43)
+        for proto in ("mesi", "warden")
+    ]
+
+
+def stats_of(results):
+    return [r.stats.to_dict() for r in results]
+
+
+def export_artifact(name: str, payload: dict) -> None:
+    """Drop a scenario manifest where the CI chaos job can pick it up."""
+    directory = os.environ.get("REPRO_CHAOS_ARTIFACTS")
+    if not directory:
+        return
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str),
+        encoding="utf-8",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault-plan syntax
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlanSyntax:
+    def test_parse_round_trips_through_describe(self):
+        text = "worker.crash@1,worker.hang@0x2:30,cache.store.oserror@1"
+        plan = parse_plan(text)
+        assert parse_plan(plan.describe()).describe() == plan.describe()
+        assert plan.specs["worker.hang"].times == 2
+        assert plan.specs["worker.hang"].arg == 30.0
+
+    def test_empty_and_none_disable(self):
+        assert parse_plan(None) is None
+        assert parse_plan("") is None
+        assert parse_plan("  ,  ") is None
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultSyntaxError):
+            parse_plan("worker.explode@1")
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(FaultSyntaxError):
+            parse_plan("worker.crash@one")
+
+    def test_bad_arg_rejected(self):
+        with pytest.raises(FaultSyntaxError):
+            parse_plan("worker.hang@0:soon")
+
+    def test_env_plan_resolution(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker.fail@3")
+        plan = faults.resolve_plan()
+        assert plan is not None and "worker.fail" in plan.specs
+
+    def test_explicit_plan_beats_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker.fail@3")
+        plan = faults.resolve_plan("worker.crash@1")
+        assert set(plan.specs) == {"worker.crash"}
+
+    def test_worker_faults_never_fire_in_parent(self):
+        faults.install(parse_plan("worker.crash@0,worker.fail@0"))
+        # IN_WORKER is False here, so neither site may fire (otherwise the
+        # serial fallback could crash the parent process).
+        faults.worker_faults(0, 0)
+        assert faults.active_plan().fired == []
+
+
+# ----------------------------------------------------------------------
+# The chaos scenarios
+# ----------------------------------------------------------------------
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_respawns_pool_and_matches_serial(self):
+        tasks = small_matrix()
+        serial = stats_of(run_matrix(tasks))
+        report = MatrixReport()
+        results = run_matrix(
+            tasks, jobs=2, report=report, faults_plan="worker.crash@1",
+            backoff_base=0.001,
+        )
+        assert stats_of(results) == serial
+        assert report.respawns >= 1
+        assert "respawn" in report.actions()
+        manifest = run_manifest(
+            results[0], tasks[0].config, robustness=report.to_dict()
+        )
+        assert manifest["robustness"]["respawns"] >= 1
+        export_artifact("crash-recovery", manifest)
+
+    def test_persistent_crash_degrades_to_serial(self):
+        tasks = small_matrix()
+        serial = stats_of(run_matrix(tasks))
+        clear_cache()  # the fallback must re-simulate, not read the cache
+        report = MatrixReport()
+        results = run_matrix(
+            tasks, jobs=2, report=report, faults_plan="worker.crash@0x99",
+            max_respawns=1, backoff_base=0.001,
+        )
+        assert stats_of(results) == serial
+        assert report.fallbacks == 1 and report.respawns >= 2
+        assert report.actions()[-1] == "fallback"
+        export_artifact(
+            "crash-fallback",
+            run_manifest(results[0], tasks[0].config,
+                         robustness=report.to_dict()),
+        )
+
+    def test_persistent_crash_without_fallback_raises(self):
+        tasks = small_matrix()
+        with pytest.raises(PoolError, match="kept dying"):
+            run_matrix(
+                tasks, jobs=2, faults_plan="worker.crash@0x99",
+                max_respawns=1, fallback_serial=False, backoff_base=0.001,
+            )
+
+
+class TestWorkerHangTimeout:
+    def test_hang_is_killed_and_retried(self):
+        tasks = small_matrix()
+        serial = stats_of(run_matrix(tasks))
+        report = MatrixReport()
+        results = run_matrix(
+            tasks, jobs=2, report=report, timeout=TIMEOUT, retries=1,
+            faults_plan=f"worker.hang@0:{HANG}", backoff_base=0.001,
+        )
+        assert stats_of(results) == serial
+        assert report.timeouts == 1
+        assert [e.action for e in report.events if e.task_index == 0] == [
+            "timeout"
+        ]
+        export_artifact(
+            "hang-timeout",
+            run_manifest(results[0], tasks[0].config,
+                         robustness=report.to_dict()),
+        )
+
+    def test_timeout_budget_exhaustion_raises(self):
+        tasks = small_matrix()[:2]
+        with pytest.raises(TaskTimeoutError) as excinfo:
+            run_matrix(
+                tasks, jobs=2, timeout=1.5, retries=0,
+                faults_plan=f"worker.hang@0x99:{HANG}", backoff_base=0.001,
+            )
+        assert excinfo.value.task_index == 0
+
+
+class TestWorkerFailureRetry:
+    def test_transient_failure_retried_to_success(self):
+        tasks = small_matrix()
+        serial = stats_of(run_matrix(tasks))
+        report = MatrixReport()
+        results = run_matrix(
+            tasks, jobs=2, report=report, retries=2,
+            faults_plan="worker.fail@2x2", backoff_base=0.001,
+        )
+        assert stats_of(results) == serial
+        assert report.retries == 2
+        retried = [e for e in report.events if e.action == "retry"]
+        assert [e.task_index for e in retried] == [2, 2]
+        manifest = run_manifest(
+            results[2], tasks[2].config, robustness=report.to_dict()
+        )
+        assert manifest["robustness"]["retries"] == 2
+        assert any(
+            e["action"] == "retry" for e in manifest["robustness"]["events"]
+        )
+        export_artifact("fail-retry", manifest)
+
+    def test_retry_budget_exhaustion_raises_pool_error(self):
+        tasks = small_matrix()[:2]
+        with pytest.raises(PoolError, match="failed after 2 attempt"):
+            run_matrix(
+                tasks, jobs=2, retries=1, faults_plan="worker.fail@1x99",
+                backoff_base=0.001,
+            )
+
+    def test_report_events_mirror_into_obs_sink(self):
+        tasks = small_matrix()[:2]
+        sink = ListSink()
+        report = MatrixReport(sink=sink)
+        run_matrix(
+            tasks, jobs=2, report=report, retries=1,
+            faults_plan="worker.fail@1", backoff_base=0.001,
+        )
+        assert [type(e) for e in sink.events] == [MatrixEvent]
+        assert sink.events[0].action == "retry"
+
+
+class TestCacheChaos:
+    def _run_fib(self):
+        return run_benchmark("fib", "mesi", tiny_config(), size="test")
+
+    def test_corrupted_load_evicts_and_reruns(self, tmp_path):
+        from repro.analysis.pool import DiskCache
+
+        cache = DiskCache(tmp_path / "cache")
+        set_disk_cache(cache)
+        fresh = self._run_fib()
+        assert cache.stores == 1
+
+        clear_cache()
+        cache.hits = cache.misses = 0
+        faults.install(parse_plan("cache.load.corrupt@1"))
+        rerun = self._run_fib()
+        assert rerun.stats.to_dict() == fresh.stats.to_dict()
+        assert cache.hits == 0 and cache.misses == 1
+        assert [h.site for h in faults.active_plan().fired] == [
+            "cache.load.corrupt"
+        ]
+        # the corrupted entry was evicted and re-stored by the re-run
+        assert cache.stores == 2 and len(cache) == 1
+
+    def test_transient_store_error_is_absorbed(self, tmp_path):
+        from repro.analysis.pool import DiskCache
+
+        cache = DiskCache(tmp_path / "cache")
+        set_disk_cache(cache)
+        faults.install(parse_plan("cache.store.oserror@1"))
+        result = self._run_fib()
+        assert result.benchmark == "fib"  # the run itself is unharmed
+        assert cache.stores == 0 and cache.store_errors == 1
+        assert len(cache) == 0
+
+        # the next store (fault exhausted) goes through
+        clear_cache()
+        self._run_fib()
+        assert cache.stores == 1 and len(cache) == 1
+
+
+class TestJournalResume:
+    def test_interrupted_matrix_resumes_only_unfinished_tasks(self, tmp_path):
+        tasks = small_matrix()
+        serial = stats_of(run_matrix(tasks))
+        journal_dir = str(tmp_path / "journal")
+
+        report = MatrixReport()
+        with pytest.raises(PoolError):
+            run_matrix(
+                tasks, jobs=2, report=report, resume=True,
+                journal_dir=journal_dir, faults_plan="worker.fail@2x99",
+                backoff_base=0.001,
+            )
+        journals = list(Path(journal_dir).glob("journal-*.jsonl"))
+        assert len(journals) == 1
+        checkpointed = sum(1 for _ in journals[0].open(encoding="utf-8"))
+        assert 0 < checkpointed < len(tasks)
+
+        resumed = MatrixReport()
+        results = run_matrix(
+            tasks, jobs=2, report=resumed, resume=True,
+            journal_dir=journal_dir,
+        )
+        assert stats_of(results) == serial
+        assert resumed.resumed == checkpointed
+        # only the unfinished tasks were executed on the resume run
+        assert resumed.completed == len(tasks) - checkpointed
+        assert "resume" in resumed.actions()
+        # a completed matrix cleans up its journal
+        assert not list(Path(journal_dir).glob("journal-*.jsonl"))
+        export_artifact(
+            "journal-resume",
+            run_manifest(results[0], tasks[0].config,
+                         robustness=resumed.to_dict()),
+        )
+
+    def test_journal_results_are_bit_identical(self, tmp_path):
+        tasks = small_matrix()[:2]
+        serial = run_matrix(tasks)
+        journal = MatrixJournal(
+            tmp_path, matrix_fingerprint([task_fingerprint(t) for t in tasks])
+        )
+        for task, result in zip(tasks, serial):
+            assert journal.append(task_fingerprint(task), result)
+        loaded = journal.load()
+        for task, original in zip(tasks, serial):
+            restored = loaded[task_fingerprint(task)]
+            assert restored.stats.to_dict() == original.stats.to_dict()
+            assert restored.result == original.result
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        tasks = small_matrix()[:1]
+        result = run_matrix(tasks)[0]
+        journal = MatrixJournal(tmp_path, "torntest")
+        journal.append(task_fingerprint(tasks[0]), result)
+        with journal.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "fingerprint": "xyz", "trunc')
+        assert len(journal.load()) == 1
+
+
+class TestRobustSingleTask:
+    def test_run_task_robust_retries_transient_failure(self):
+        task = small_matrix()[0]
+        report = MatrixReport()
+        calls = {"n": 0}
+
+        real = faults.worker_faults
+
+        def fail_once(index, attempt):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise FaultInjected("worker.fail", index)
+
+        faults.worker_faults = fail_once
+        faults.ACTIVE = True
+        try:
+            result, wall = run_task_robust(
+                task, retries=1, report=report, backoff_base=0.001
+            )
+        finally:
+            faults.worker_faults = real
+            faults.ACTIVE = False
+        assert result.benchmark == "fib" and wall >= 0.0
+        assert report.retries == 1
+
+    def test_run_task_robust_timeout_raises(self):
+        task = small_matrix()[0]
+        with pytest.raises(TaskTimeoutError):
+            run_task_robust(
+                task, timeout=1.5, retries=0,
+                faults_plan=f"worker.hang@0x99:{HANG}",
+            )

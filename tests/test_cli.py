@@ -116,7 +116,7 @@ class TestFigureJson:
             ipc_improvement_pct=7.0, ward_coverage=0.5,
         )
         monkeypatch.setattr(
-            cli, "_metrics_for", lambda config, names, size, jobs=1: [fake]
+            cli, "_metrics_for", lambda config, names, size, jobs=1, **kw: [fake]
         )
         assert main(["figure", "fig9", "--size", "test", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
@@ -124,7 +124,58 @@ class TestFigureJson:
         assert payload["rows"][0]["benchmark"] == "fib"
         assert payload["rows"][0]["speedup"] == 1.5
         assert "summary" in payload
+        assert "robustness" not in payload  # clean run, no robust flags
 
     def test_every_figure_has_a_spec(self):
         from repro.cli import FIGURES, _FIGURE_SPECS
         assert set(FIGURES) == set(_FIGURE_SPECS)
+
+
+class TestRobustnessFlags:
+    FAKE = ComparisonMetrics(
+        benchmark="fib", speedup=1.5, interconnect_savings=10.0,
+        processor_savings=5.0, inv_dg_reduced_per_kilo=12.0,
+        downgrade_reduction_pct=60.0, invalidation_reduction_pct=40.0,
+        ipc_improvement_pct=7.0, ward_coverage=0.5,
+    )
+
+    def test_flags_parse_on_figure_and_bench(self):
+        args = build_parser().parse_args(
+            ["figure", "fig9", "--timeout", "5", "--retries", "2", "--resume"]
+        )
+        assert (args.timeout, args.retries, args.resume) == (5.0, 2, True)
+        args = build_parser().parse_args(["bench", "--quick", "--retries", "1"])
+        assert args.retries == 1 and args.timeout is None and not args.resume
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--retries", "-1"])
+
+    def test_figure_json_surfaces_robustness_block(self, capsys, monkeypatch):
+        def fake_metrics(config, names, size, jobs=1, timeout=None,
+                         retries=0, resume=False, report=None):
+            assert retries == 1
+            if report is not None:
+                report.record("retry", 0, 1, detail="injected")
+            return [self.FAKE]
+
+        monkeypatch.setattr(cli, "_metrics_for", fake_metrics)
+        assert main(
+            ["figure", "fig9", "--size", "test", "--json", "--retries", "1"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["robustness"]["retries"] == 1
+        assert payload["robustness"]["events"][0]["action"] == "retry"
+
+    def test_figure_text_prints_robustness_summary(self, capsys, monkeypatch):
+        def fake_metrics(config, names, size, jobs=1, timeout=None,
+                         retries=0, resume=False, report=None):
+            if report is not None:
+                report.record("timeout", 2, 0)
+            return [self.FAKE]
+
+        monkeypatch.setattr(cli, "_metrics_for", fake_metrics)
+        assert main(["figure", "fig9", "--size", "test", "--retries", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "robustness:" in captured.err
+        assert "1 timeouts" in captured.err

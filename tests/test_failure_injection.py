@@ -96,6 +96,107 @@ class TestResourceExhaustion:
             rt.run(root)
 
 
+class TestWardEndEdges:
+    def test_reads_issued_right_after_ward_end_are_coherent(self):
+        """Cross-thread reads racing the ward_end boundary: reconciliation
+        must have merged every thread's writes before the next phase's
+        reads land, so the checker stays clean and values are right."""
+
+        def root(ctx, n):
+            arr = yield from ctx.alloc_array(n, fill=0, name="phased")
+            phase = ctx.ward_begin(arr)
+
+            def w(c, i):
+                yield from arr.set(i, i * 2)
+
+            yield from ctx.parallel_for(0, n, w, grain=1)
+            ctx.ward_end(phase)
+            # epoch boundary: immediately read every NEIGHBOUR's slot
+            total = yield from ctx.reduce(
+                0, n, lambda c, i: arr.get((i + 1) % n),
+                lambda a, b: a + b, grain=1,
+            )
+            return total
+
+        machine = Machine(tiny_config(), "warden")
+        checker = WardChecker(region_table=machine.protocol.region_table)
+        result, _ = Runtime(machine, access_monitor=checker).run(root, 16)
+        assert result == sum(i * 2 for i in range(16))
+        assert checker.clean
+        machine.protocol.check_invariants()
+
+
+class TestPartialEvictionReconciliation:
+    def test_remove_region_after_private_caches_evicted_w_blocks(self):
+        """A region far bigger than the private caches: many of its W
+        blocks are evicted before ward_end, and reconciliation of the
+        partially-evicted region must still leave the directory sane."""
+        m = Machine(tiny_config(), "warden")
+        base = m.sbrk(4096, 64)
+        region = m.add_ward_region(0, base, base + 4096)
+        assert region is not None
+        from repro.common.types import AccessType
+
+        for off in range(0, 4096, 64):
+            m.access(0, base + off, 8, AccessType.STORE)
+        assert len(region.blocks) > 0
+        # thrash the private caches with non-region traffic so W lines
+        # get evicted while the region is still active
+        junk = m.sbrk(8192, 64)
+        for off in range(0, 8192, 64):
+            m.access(0, junk + off, 8, AccessType.STORE)
+        m.protocol.check_invariants()
+        m.remove_ward_region(0, region)
+        m.protocol.check_invariants()
+        assert len(m.protocol.region_table) == 0
+
+    def test_two_writers_reconcile_after_partial_eviction(self):
+        """Two threads write disjoint halves (false sharing at block
+        granularity avoided by 64-byte stripes); cache thrash evicts part
+        of each writer's W set before ward_end."""
+        from repro.common.types import AccessType
+
+        m = Machine(tiny_config(), "warden")
+        base = m.sbrk(2048, 64)
+        region = m.add_ward_region(0, base, base + 2048)
+        for off in range(0, 2048, 64):
+            writer = (off // 64) % 2
+            m.access(writer, base + off, 8, AccessType.STORE)
+        junk = m.sbrk(8192, 64)
+        for off in range(0, 8192, 64):
+            m.access(0, junk + off, 8, AccessType.STORE)
+            m.access(1, junk + off, 8, AccessType.LOAD)
+        m.protocol.check_invariants()
+        m.remove_ward_region(1, region)
+        m.protocol.check_invariants()
+        assert len(m.protocol.region_table) == 0
+        # post-reconciliation traffic on the ex-region stays coherent
+        for off in range(0, 2048, 256):
+            m.access(1, base + off, 8, AccessType.LOAD)
+        m.protocol.check_invariants()
+
+    def test_region_end_to_end_under_eviction_pressure(self):
+        """Full-stack variant: a tabulate+reduce whose array exceeds the
+        private caches, so WARD regions reconcile partially-evicted."""
+
+        def root(ctx, n):
+            arr = yield from ctx.tabulate(
+                n, lambda c, i: c.value(i % 97), grain=16
+            )
+            total = yield from ctx.reduce(
+                0, n, lambda c, i: arr.get(i), lambda a, b: a + b, grain=16
+            )
+            return total
+
+        machine = Machine(tiny_config(), "warden")
+        checker = WardChecker(region_table=machine.protocol.region_table)
+        result, stats = Runtime(machine, access_monitor=checker).run(root, 768)
+        assert result == sum(i % 97 for i in range(768))
+        assert checker.clean
+        machine.protocol.check_invariants()
+        assert len(machine.protocol.region_table) == 0
+
+
 class TestKernelExceptionsPropagate:
     def test_python_error_in_task_body_surfaces(self):
         def root(ctx):

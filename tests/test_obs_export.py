@@ -166,6 +166,18 @@ class TestManifests:
         assert meta["repro_version"] == __import__("repro").__version__
         assert meta["python"].count(".") == 2
 
+    def test_robustness_block_attached_when_given(self):
+        from repro.analysis.pool import MatrixReport
+
+        result = self._result()
+        assert "robustness" not in run_manifest(result)
+        report = MatrixReport()
+        report.record("retry", 1, 1, detail="transient")
+        manifest = run_manifest(result, robustness=report.to_dict())
+        back = json.loads(manifest_json(manifest))
+        assert back["robustness"]["retries"] == 1
+        assert back["robustness"]["events"][0]["task_index"] == 1
+
 
 class TestFlameSummary:
     def test_classifies_by_latency(self):

@@ -9,15 +9,20 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 
 import pytest
 
 from repro.analysis import pool as pool_mod
 from repro.analysis.pool import (
     DiskCache,
+    MatrixReport,
     RunTask,
     code_fingerprint,
     config_fingerprint,
+    decode_result,
+    encode_result,
+    matrix_fingerprint,
     run_matrix,
     task_fingerprint,
 )
@@ -224,6 +229,52 @@ class TestDiskCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_store_reraises_keyboard_interrupt_after_cleanup(
+        self, tmp_path, monkeypatch
+    ):
+        cache = DiskCache(tmp_path / "cache")
+        set_disk_cache(cache)
+        result = self._run_fib(use_disk_cache=False)
+
+        def interrupted(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(os, "replace", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            cache.store("f" * 64, result)
+        # the temp file was cleaned up and nothing was committed
+        assert list((tmp_path / "cache").glob("*.tmp")) == []
+        assert len(cache) == 0 and cache.stores == 0
+
+    def test_store_reraises_system_exit_after_cleanup(
+        self, tmp_path, monkeypatch
+    ):
+        cache = DiskCache(tmp_path / "cache")
+        set_disk_cache(cache)
+        result = self._run_fib(use_disk_cache=False)
+        monkeypatch.setattr(
+            os, "replace", lambda s, d: (_ for _ in ()).throw(SystemExit(1))
+        )
+        with pytest.raises(SystemExit):
+            cache.store("f" * 64, result)
+        assert list((tmp_path / "cache").glob("*.tmp")) == []
+
+    def test_store_absorbs_transient_oserror(self, tmp_path, monkeypatch):
+        cache = DiskCache(tmp_path / "cache")
+        set_disk_cache(cache)
+        result = self._run_fib(use_disk_cache=False)
+
+        def enospc(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "replace", enospc)
+        assert cache.store("f" * 64, result) is False
+        assert cache.store_errors == 1 and cache.stores == 0
+        assert list((tmp_path / "cache").glob("*.tmp")) == []
+        # the cache is best-effort: the run itself keeps going
+        monkeypatch.undo()
+        assert cache.store("f" * 64, result) is True
+
     def test_parallel_sweep_populates_disk_cache(self, tmp_path):
         cache = DiskCache(tmp_path / "cache")
         set_disk_cache(cache)
@@ -234,3 +285,74 @@ class TestDiskCache:
         cache.hits = cache.misses = 0
         run_pairs("fib", tiny_config(), size="test", jobs=1)
         assert cache.hits == 6  # serial path reads what the pool wrote
+
+
+# ----------------------------------------------------------------------
+# Result payload round-trips and matrix identity
+# ----------------------------------------------------------------------
+
+
+class TestResultSerialization:
+    def test_encode_decode_round_trip_is_bit_identical(self):
+        original = run_benchmark("fib", "mesi", tiny_config(), size="test")
+        payload = json.loads(
+            json.dumps(encode_result("k" * 64, original), sort_keys=True)
+        )
+        restored = decode_result(payload)
+        assert restored.stats.to_dict() == original.stats.to_dict()
+        assert restored.result == original.result
+        assert (restored.benchmark, restored.protocol, restored.size) == (
+            original.benchmark, original.protocol, original.size
+        )
+
+    def test_decode_rejects_schema_mismatch(self):
+        original = run_benchmark("fib", "mesi", tiny_config(), size="test")
+        payload = encode_result("k" * 64, original)
+        payload["schema"] = -1
+        with pytest.raises(ValueError):
+            decode_result(payload)
+
+    def test_matrix_fingerprint_depends_on_task_order_and_content(self):
+        a = matrix_fingerprint(["k1", "k2"])
+        assert a == matrix_fingerprint(["k1", "k2"])
+        assert a != matrix_fingerprint(["k2", "k1"])
+        assert a != matrix_fingerprint(["k1", "k3"])
+
+
+class TestMatrixReport:
+    def test_counters_track_actions(self):
+        report = MatrixReport()
+        report.record("retry", 1, 1)
+        report.record("timeout", 2, 0)
+        report.record("respawn", -1, 0)
+        report.record("fallback", -1, 0)
+        assert (
+            report.retries, report.timeouts, report.respawns, report.fallbacks
+        ) == (1, 1, 1, 1)
+        assert not report.clean
+        payload = report.to_dict()
+        assert payload["retries"] == 1
+        assert [e["action"] for e in payload["events"]] == [
+            "retry", "timeout", "respawn", "fallback",
+        ]
+
+    def test_clean_report(self):
+        report = MatrixReport()
+        assert report.clean and report.to_dict()["events"] == []
+
+    def test_robust_matrix_with_no_faults_matches_plain_run(self):
+        config = tiny_config()
+        tasks = [
+            RunTask(benchmark="fib", protocol=proto, config=config, size="test")
+            for proto in ("mesi", "warden")
+        ]
+        plain = run_matrix(tasks, jobs=2)
+        clear_cache()
+        report = MatrixReport()
+        robust = run_matrix(
+            tasks, jobs=2, timeout=60.0, retries=2, report=report
+        )
+        assert [r.stats.to_dict() for r in robust] == [
+            r.stats.to_dict() for r in plain
+        ]
+        assert report.clean

@@ -1,0 +1,301 @@
+"""Seeded protocol fuzzing: random access patterns + invariant checking.
+
+Three layers of randomized stress, each replayable from its seed:
+
+1. **Machine-level fuzz** — a seeded generator mixes private, shared, and
+   ping-pong access patterns with region add/remove interleavings, drives
+   them through both MESI and WARDen, and calls
+   ``protocol.check_invariants()`` after every directory transaction.
+   The tiny test machine's caches force evictions, so WARDen regions are
+   routinely reconciled while partially evicted.
+2. **Value-oracle fuzz** — random WARD-compliant programs through
+   :class:`WardMemoryModel` (per-thread incoherent views, arbitrary merge
+   order) must match a sequential-memory oracle at every load and in the
+   final image, for *any* reconciliation order.
+3. **Runtime end-to-end fuzz** — random tabulate/reduce programs through
+   the full stack under both protocols must compute the Python reference
+   result with a clean :class:`WardChecker`.
+
+Seeds come from ``REPRO_FUZZ_SEEDS`` (comma-separated; default ``1,2,3``).
+A failing test names the seed and prints the exact command to replay it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.hlpl.runtime import Runtime
+from repro.sim.machine import Machine
+from repro.verify.coherence_checker import ReconciliationModel, WardMemoryModel
+from repro.verify.ward_checker import WardChecker
+from tests.conftest import tiny_config
+
+LOAD = AccessType.LOAD
+STORE = AccessType.STORE
+RMW = AccessType.RMW
+
+
+def fuzz_seeds():
+    text = os.environ.get("REPRO_FUZZ_SEEDS", "1,2,3")
+    return tuple(int(s) for s in text.replace(" ", "").split(",") if s)
+
+
+SEEDS = fuzz_seeds()
+
+
+def replay_hint(test_id: str, seed: int) -> str:
+    return (
+        f"fuzz failure (seed {seed}); replay with:\n"
+        f"  REPRO_FUZZ_SEEDS={seed} PYTHONPATH=src python -m pytest "
+        f"'tests/test_protocol_fuzz.py::{test_id}' -q"
+    )
+
+
+def run_replayable(test_id: str, seed: int, body) -> None:
+    """Run ``body()``; on any failure, prepend the replay command."""
+    try:
+        body()
+    except Exception as exc:  # noqa: BLE001 - reframe every fuzz failure
+        raise AssertionError(f"{replay_hint(test_id, seed)}\n{exc!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# 1. Machine-level fuzz: invariants hold under chaos
+# ----------------------------------------------------------------------
+
+#: accesses + region ops per seed per protocol
+FUZZ_STEPS = 250
+
+
+def _fuzz_machine(protocol: str, seed: int) -> None:
+    config = tiny_config()
+    m = Machine(config, protocol)
+    rng = random.Random(seed)
+    threads = config.num_threads
+    #: four 256-byte arenas; regions and accesses land inside them
+    arenas = [m.sbrk(256, 64) for _ in range(4)]
+    active = []
+
+    def random_addr() -> int:
+        mode = rng.random()
+        if mode < 0.4:
+            # private: each thread owns one 64-byte stripe of one arena
+            t = rng.randrange(threads)
+            return arenas[t % len(arenas)] + (t % 4) * 64 + rng.randrange(8) * 8
+        if mode < 0.8:
+            # shared: anywhere in any arena
+            return rng.choice(arenas) + rng.randrange(32) * 8
+        # ping-pong: everyone hammers the same word
+        return arenas[0] + 8
+
+    for step in range(FUZZ_STEPS):
+        roll = rng.random()
+        if roll < 0.08 and len(active) < 8:
+            # add a region over a random arena span (overlaps allowed)
+            arena = rng.choice(arenas)
+            start = arena + rng.randrange(4) * 64
+            end = min(arena + 256, start + rng.choice((64, 128, 192)))
+            region = m.add_ward_region(rng.randrange(threads), start, end)
+            if region is not None:
+                active.append(region)
+        elif roll < 0.16 and active:
+            # remove a random region (possibly mid-sharing, possibly after
+            # some of its blocks were evicted by the tiny caches)
+            region = active.pop(rng.randrange(len(active)))
+            m.remove_ward_region(rng.randrange(threads), region)
+        else:
+            atype = rng.choices((LOAD, STORE, RMW), weights=(5, 4, 1))[0]
+            m.access(
+                rng.randrange(threads), random_addr(),
+                rng.choice((1, 4, 8)), atype,
+            )
+        m.protocol.check_invariants()
+
+    for region in active:
+        m.remove_ward_region(0, region)
+        m.protocol.check_invariants()
+    if m.supports_ward:
+        assert len(m.protocol.region_table) == 0
+
+
+class TestMachineFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mesi_invariants_under_random_traffic(self, seed):
+        run_replayable(
+            f"TestMachineFuzz::test_mesi_invariants_under_random_traffic"
+            f"[{seed}]",
+            seed,
+            lambda: _fuzz_machine("mesi", seed),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_warden_invariants_under_random_traffic(self, seed):
+        run_replayable(
+            f"TestMachineFuzz::test_warden_invariants_under_random_traffic"
+            f"[{seed}]",
+            seed,
+            lambda: _fuzz_machine("warden", seed),
+        )
+
+
+# ----------------------------------------------------------------------
+# 2. Value-oracle fuzz: WARD-compliant programs can't see the incoherence
+# ----------------------------------------------------------------------
+
+
+def _fuzz_ward_values(seed: int) -> None:
+    rng = random.Random(seed)
+    threads = 4
+    region = (0, 256)
+    addrs = list(range(region[0], region[1], 8))
+    rng.shuffle(addrs)
+    # WARD-compliant write plan: disjoint per-thread address sets, plus a
+    # few "apathetic WAW" addresses every thread writes with the SAME value
+    # (condition 2: order must not matter).
+    waw_addrs = addrs[: rng.randrange(0, 4)]
+    private = addrs[len(waw_addrs):]
+    owned = {t: private[t::threads] for t in range(threads)}
+
+    # seed some pre-region memory so first-touch reads are non-trivial
+    oracle = {}
+    model = WardMemoryModel()
+    for addr in addrs[::3]:
+        value = rng.randrange(1000)
+        model.store(0, addr, value)
+        oracle[addr] = value
+
+    model.begin_region(*region)
+    writes = {t: {} for t in range(threads)}
+    program = []
+    for t in range(threads):
+        for addr in owned[t]:
+            if rng.random() < 0.7:
+                program.append(("store", t, addr, rng.randrange(1000)))
+        for addr in waw_addrs:
+            program.append(("store", t, addr, 7_777 + addr))
+        program.append(("load-own", t))
+    rng.shuffle(program)
+
+    for op in program:
+        if op[0] == "store":
+            _, t, addr, value = op
+            model.store(t, addr, value)
+            writes[t][addr] = value
+        else:
+            t = op[1]
+            # reading ONLY what this thread wrote (or untouched words) is
+            # WARD-compliant; the view must match the sequential story
+            for addr, value in writes[t].items():
+                assert model.load(t, addr) == value
+            for addr in owned[t]:
+                if addr not in writes[t]:
+                    assert model.load(t, addr) == oracle.get(addr, 0)
+
+    merge_order = list(writes)
+    rng.shuffle(merge_order)
+    model.end_region(merge_order=[t for t in merge_order if writes[t]])
+
+    for t in range(threads):
+        oracle.update(writes[t])
+    for addr in addrs:
+        assert model.load(0, addr) == oracle.get(addr, 0), hex(addr)
+
+
+def _fuzz_reconciliation(seed: int) -> None:
+    rng = random.Random(seed)
+    sectors = 16
+    initial = [rng.randrange(100) for _ in range(sectors)]
+    # disjoint written masks (false sharing): merge order must not matter
+    order = list(range(sectors))
+    rng.shuffle(order)
+    copies = []
+    cursor = 0
+    for _ in range(4):
+        take = rng.randrange(0, sectors - cursor + 1)
+        mask = 0
+        values = [0] * sectors
+        for s in order[cursor:cursor + take]:
+            mask |= 1 << s
+            values[s] = rng.randrange(1000, 2000)
+        copies.append((values, mask))
+        cursor += take
+    reference = ReconciliationModel(sectors, initial).merge(copies)
+    for _ in range(4):
+        shuffled = copies[:]
+        rng.shuffle(shuffled)
+        merged = ReconciliationModel(sectors, initial).merge(shuffled)
+        assert merged == reference
+    if sum(1 for _, m in copies if m) > 1:
+        assert ReconciliationModel.is_false_sharing(
+            [c for c in copies if c[1]]
+        )
+
+
+class TestValueOracleFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ward_compliant_programs_match_sequential_oracle(self, seed):
+        run_replayable(
+            f"TestValueOracleFuzz::"
+            f"test_ward_compliant_programs_match_sequential_oracle[{seed}]",
+            seed,
+            lambda: _fuzz_ward_values(seed),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_false_sharing_reconciliation_is_order_invariant(self, seed):
+        run_replayable(
+            f"TestValueOracleFuzz::"
+            f"test_false_sharing_reconciliation_is_order_invariant[{seed}]",
+            seed,
+            lambda: _fuzz_reconciliation(seed),
+        )
+
+
+# ----------------------------------------------------------------------
+# 3. Runtime end-to-end fuzz: random programs, full stack, Python oracle
+# ----------------------------------------------------------------------
+
+
+def _fuzz_runtime(protocol: str, seed: int) -> None:
+    rng = random.Random(seed)
+    n = rng.choice((48, 64, 96))
+    grain = rng.choice((4, 8, 16))
+    scale = rng.randrange(1, 7)
+    offset = rng.randrange(0, 100)
+
+    def root(ctx, count):
+        arr = yield from ctx.tabulate(
+            count, lambda c, i: c.value(i * scale + offset), grain=grain
+        )
+        total = yield from ctx.reduce(
+            0, count, lambda c, i: arr.get(i), lambda a, b: a + b, grain=grain
+        )
+        return total
+
+    machine = Machine(tiny_config(), protocol)
+    checker = None
+    if machine.supports_ward:
+        checker = WardChecker(region_table=machine.protocol.region_table)
+    rt = Runtime(machine, access_monitor=checker, seed=seed)
+    result, stats = rt.run(root, n)
+    assert result == sum(i * scale + offset for i in range(n))
+    machine.protocol.check_invariants()
+    if checker is not None:
+        assert checker.clean
+        assert checker.checked_accesses > 0
+
+
+class TestRuntimeFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("protocol", ("mesi", "warden"))
+    def test_random_tabulate_reduce_matches_reference(self, protocol, seed):
+        run_replayable(
+            f"TestRuntimeFuzz::test_random_tabulate_reduce_matches_reference"
+            f"[{protocol}-{seed}]",
+            seed,
+            lambda: _fuzz_runtime(protocol, seed),
+        )
