@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Regenerate the golden RunStats-digest corpus (tests/golden/).
+
+Runs every benchmark under both protocols at the pinned configuration
+(dual-socket machine, "test" size, seed 42) and records a sha256 digest of
+each run's canonical ``RunStats.to_dict()`` JSON, plus the headline cycle
+and instruction counts for human-readable diffs.  ``tests/test_golden_stats.py``
+replays the same cells and fails on any digest drift.
+
+The corpus pins *behaviour*, not correctness: after an intentional
+simulator change (new counters, fixed accounting, different scheduling),
+inspect the cycle/instruction deltas in the git diff of the regenerated
+file and commit it alongside the change.
+
+Usage: PYTHONPATH=src python scripts/update_golden.py [--check]
+
+``--check`` regenerates in memory and exits non-zero on any difference
+without touching the file (the CI-friendly mode).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "golden", "stats_digests.json"
+)
+
+SCHEMA = "warden-repro/golden/v1"
+SIZE = "test"
+SEED = 42
+PROTOCOLS = ("mesi", "warden")
+
+
+def build_corpus() -> dict:
+    from repro.analysis.conformance import stats_digest
+    from repro.analysis.run import run_benchmark
+    from repro.bench import PAPER_ORDER
+    from repro.common.config import dual_socket
+
+    config = dual_socket()
+    entries = {}
+    for name in PAPER_ORDER:
+        for protocol in PROTOCOLS:
+            result = run_benchmark(
+                name, protocol, config, size=SIZE, seed=SEED,
+                use_disk_cache=False,
+            )
+            entries[f"{name}/{protocol}"] = {
+                "digest": stats_digest(result.stats),
+                "cycles": result.stats.cycles,
+                "instructions": result.stats.instructions,
+            }
+            print(f"  {name}/{protocol}: {entries[f'{name}/{protocol}']['digest'][:16]}...")
+    return {
+        "schema": SCHEMA,
+        "machine": config.name,
+        "size": SIZE,
+        "seed": SEED,
+        "entries": entries,
+    }
+
+
+def main(argv) -> int:
+    check = "--check" in argv
+    corpus = build_corpus()
+    payload = json.dumps(corpus, indent=2, sort_keys=True) + "\n"
+    if check:
+        try:
+            with open(GOLDEN_PATH, encoding="utf-8") as handle:
+                committed = handle.read()
+        except FileNotFoundError:
+            print(f"golden corpus missing: {GOLDEN_PATH}", file=sys.stderr)
+            return 1
+        if committed != payload:
+            print("golden corpus is stale; rerun scripts/update_golden.py",
+                  file=sys.stderr)
+            return 1
+        print("golden corpus up to date")
+        return 0
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    print(f"wrote {len(corpus['entries'])} entries to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

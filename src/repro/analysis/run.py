@@ -85,15 +85,18 @@ def run_benchmark(
     use_cache: bool = True,
     use_disk_cache: bool = True,
     obs_sink=None,
+    race_detector=None,
 ) -> BenchResult:
     """Simulate one benchmark run; verify its result against the reference.
 
     ``obs_sink`` installs an observability sink (see :mod:`repro.obs`) on
     the machine's tracer for the duration of the run; traced runs bypass
     the result cache (a cached result has no event stream to replay).
-    ``use_disk_cache=False`` skips the persistent cache (when one is
-    installed via :func:`set_disk_cache`) without disturbing the
-    in-process cache.
+    ``race_detector`` attaches a :class:`repro.verify.race.RaceDetector`
+    to the runtime; detected runs bypass the cache too (a cached result
+    has no access stream to classify).  ``use_disk_cache=False`` skips
+    the persistent cache (when one is installed via
+    :func:`set_disk_cache`) without disturbing the in-process cache.
     """
     task = RunTask(
         benchmark=name,
@@ -105,7 +108,7 @@ def run_benchmark(
         check_ward=check_ward,
     )
     key = task_fingerprint(task)
-    if obs_sink is not None:
+    if obs_sink is not None or race_detector is not None:
         use_cache = False
     disk = _DISK_CACHE if (use_cache and use_disk_cache) else None
     if use_cache:
@@ -126,7 +129,13 @@ def run_benchmark(
     monitor: Optional[WardChecker] = None
     if check_ward and machine.supports_ward:
         monitor = WardChecker(region_table=machine.protocol.region_table)
-    rt = Runtime(machine, policy=policy, access_monitor=monitor, seed=seed)
+    rt = Runtime(
+        machine,
+        policy=policy,
+        access_monitor=monitor,
+        race_detector=race_detector,
+        seed=seed,
+    )
     result, stats = rt.run(bench.root_task, workload)
     stats.benchmark = name
     EnergyModel(config).compute(stats)
@@ -165,6 +174,43 @@ def run_pair(
     mesi = run_benchmark(name, "mesi", config, size=size, seed=seed, policy=policy)
     warden = run_benchmark(name, "warden", config, size=size, seed=seed, policy=policy)
     return mesi, warden
+
+
+def prefetch(
+    tasks: List[RunTask],
+    jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    resume: bool = False,
+    report=None,
+) -> None:
+    """Warm the in-process cache for ``tasks`` through the run matrix.
+
+    Used by harnesses (e.g. :mod:`repro.analysis.conformance`) that want
+    the PR 2 pool/cache machinery — parallel fan-out, disk cache, the
+    robustness layer — before reading individual results back through
+    :func:`run_benchmark`, which then hits the cache.
+    """
+    todo = [
+        (task, key)
+        for task, key in ((t, task_fingerprint(t)) for t in tasks)
+        if key not in _CACHE
+    ]
+    if not todo:
+        return
+    cache_dir = str(_DISK_CACHE.root) if _DISK_CACHE is not None else None
+    results = run_matrix(
+        [task for task, _ in todo],
+        jobs=jobs,
+        cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        resume=resume,
+        report=report,
+    )
+    for (_, key), result in zip(todo, results):
+        _CACHE[key] = result
 
 
 #: seeds used by the figure harnesses (averaged to cancel steal-timing noise)

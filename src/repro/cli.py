@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     warden-repro trace fib --size test --out trace.json   # Perfetto trace
     warden-repro profile fib --size test    # flame summary + region profile
     warden-repro bench --quick              # simulator throughput baseline
+    warden-repro verify --all [--json]      # race detector + conformance
     warden-repro area                       # §6.1 CACTI estimates
 
 ``figure`` and ``run`` read and write a persistent result cache under
@@ -35,6 +36,7 @@ from repro.analysis.bench import (
     run_bench_suite,
     write_report,
 )
+from repro.analysis.conformance import run_verify
 from repro.analysis.metrics import compare_multi, summarize
 from repro.analysis.pool import DEFAULT_CACHE_DIR, DiskCache, MatrixReport
 from repro.analysis.run import run_benchmark, run_pairs, set_disk_cache
@@ -310,6 +312,55 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Differential conformance + race detection (exit 1 on violation)."""
+    _configure_disk_cache(args)
+    config = _machine_config(args)
+    names = list(PAPER_ORDER) if args.all else [args.benchmark]
+    report = _robustness_report(args)
+    from repro.common.errors import ReproError
+
+    try:
+        conformance = run_verify(
+            names,
+            config,
+            size=args.size,
+            seed=args.seed,
+            protocol=args.protocol,
+            jobs=args.jobs,
+            check_oracle=not args.no_oracle,
+            timeout=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            report=report,
+        )
+    except ReproError as exc:
+        # Operational failure (injected fault, broken pool, timeout budget
+        # exhausted...) — distinct from a conformance violation (exit 1).
+        print(f"verify: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = conformance.to_dict()
+        if report is not None and not report.clean:
+            payload["robustness"] = report.to_dict()
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(f"conformance: {len(names)} benchmark(s), size {args.size}, "
+              f"machine {conformance.machine}, seed {args.seed}")
+        for r in conformance.results:
+            verdict = "PASS" if r.passed else "FAIL"
+            print(f"  {r.benchmark:<14} {verdict}  races={r.races} "
+                  f"benign_waws={r.benign_waws} "
+                  f"oracle_regions={r.oracle_regions} "
+                  f"checked={r.detector.get('checked_accesses', 0)}")
+            for failure in r.failures:
+                print(f"    - {failure}")
+        _print_robustness(report)
+        print("verify: " + ("all benchmarks conform"
+                            if conformance.passed else "VIOLATIONS FOUND"))
+    return 0 if conformance.passed else 1
+
+
 def cmd_area(_args) -> int:
     cfg = dual_socket()
     print(f"byte-sectoring area overhead : {sectoring_area_overhead():.1%} "
@@ -444,6 +495,37 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--bin-cycles", type=_positive_int, default=100_000,
                     help="phase-histogram bin width in cycles (default: %(default)s)")
     pp.set_defaults(func=cmd_profile)
+
+    pv = sub.add_parser(
+        "verify",
+        help="differential conformance: MESI vs WARDen vs the value oracle, "
+             "plus happens-before race detection (exit 1 on violation)",
+    )
+    which = pv.add_mutually_exclusive_group(required=True)
+    which.add_argument("--all", action="store_true",
+                       help="verify every paper benchmark")
+    which.add_argument("--benchmark", choices=sorted(BENCHMARKS),
+                       help="verify a single benchmark")
+    pv.add_argument("--protocol", default="warden", choices=("mesi", "warden"),
+                    help="protocol the race-detector/oracle leg runs under; "
+                         "the MESI-vs-WARDen differential always runs both "
+                         "(default: %(default)s)")
+    pv.add_argument("--size", default="test",
+                    choices=("test", "small", "default"),
+                    help="workload size (default: %(default)s)")
+    pv.add_argument("--machine", default="dual", choices=sorted(MACHINES),
+                    help="machine preset (default: dual-socket Table 2)")
+    pv.add_argument("--seed", type=int, default=42,
+                    help="scheduler seed (default: %(default)s)")
+    pv.add_argument("--json", action="store_true",
+                    help="emit the machine-readable conformance report")
+    pv.add_argument("--jobs", type=_positive_int, default=1,
+                    help="fan the differential runs over N processes")
+    pv.add_argument("--no-oracle", action="store_true",
+                    help="skip the value-level WardMemoryModel replay leg")
+    _add_cache_args(pv)
+    _add_robust_args(pv)
+    pv.set_defaults(func=cmd_verify)
 
     sub.add_parser("area", help="§6.1 area estimates").set_defaults(func=cmd_area)
     return parser

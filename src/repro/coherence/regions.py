@@ -42,7 +42,10 @@ class RegionTable:
     the scan window; regions may overlap freely.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: Optional[int] = 1024) -> None:
+        #: maximum simultaneous regions; None models an unbounded table
+        #: (software-side consumers like the race detector, which must not
+        #: silently drop regions the way the hardware CAM is allowed to)
         self.capacity = capacity
         self._next_id = 0
         self._regions: Dict[int, WardRegion] = {}
@@ -60,7 +63,7 @@ class RegionTable:
 
     @property
     def full(self) -> bool:
-        return len(self._regions) >= self.capacity
+        return self.capacity is not None and len(self._regions) >= self.capacity
 
     def add(self, start: int, end: int) -> Optional[WardRegion]:
         """Register ``[start, end)``; returns None if the CAM is full."""

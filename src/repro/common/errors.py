@@ -62,6 +62,22 @@ class FaultInjected(ReproError):
         return (type(self), (self.site, self.key))
 
 
+class RaceError(ReproError):
+    """A true data race found by the happens-before detector.
+
+    Raised by :mod:`repro.verify.race` when two accesses to the same
+    address are unordered by the fork/join happens-before relation and do
+    not form a benign (WARD condition 2) write-write pair inside a shared
+    region epoch.  The message names the benchmark, both tasks (spawn-tree
+    paths), the access kinds/op indices, and any WARD region involved.
+    """
+
+    def __init__(self, message: str, finding=None) -> None:
+        super().__init__(message)
+        #: the structured :class:`repro.verify.race.RaceFinding`, when known
+        self.finding = finding
+
+
 class WardViolationError(ReproError):
     """An access pattern violated the WARD property inside an active region.
 
@@ -70,11 +86,24 @@ class WardViolationError(ReproError):
     region (condition 1 of the WARD definition, paper §3.1).
     """
 
-    def __init__(self, addr: int, writer: int, reader: int) -> None:
+    def __init__(
+        self,
+        addr: int,
+        writer: int,
+        reader: int,
+        violation=None,
+    ) -> None:
+        regions = ""
+        if violation is not None and violation.shared_regions:
+            ids = ", ".join(str(r) for r in violation.shared_regions)
+            regions = f" (region id {ids})"
         super().__init__(
             f"WARD violation: hardware thread {reader} read address {addr:#x} "
-            f"written by hardware thread {writer} inside an active WARD region"
+            f"written by hardware thread {writer} inside an active WARD "
+            f"region{regions}"
         )
         self.addr = addr
         self.writer = writer
         self.reader = reader
+        #: the structured :class:`repro.verify.ward_checker.WardViolation`
+        self.violation = violation

@@ -25,13 +25,17 @@ class Page:
     (mirroring MPL's large-object handling) so arrays stay contiguous.
     """
 
-    __slots__ = ("base", "size", "region")
+    __slots__ = ("base", "size", "region", "det_region")
 
     def __init__(self, base: int, size: int = PAGE_SIZE) -> None:
         self.base = base
         self.size = size
         #: the active WardRegion handle covering this page, or None
         self.region = None
+        #: the race detector's logical region over this page, or None
+        #: (tracked independently of ``region`` so detection semantics do
+        #: not depend on the protocol or the hardware CAM's capacity)
+        self.det_region = None
 
     @property
     def end(self) -> int:

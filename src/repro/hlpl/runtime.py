@@ -38,6 +38,22 @@ CLOSURE_WORDS = 8
 FORK_INSTRS_PER_CHILD = 18
 
 
+class _ConstructRegion:
+    """Paired (hardware, detector) region handles for one construct scope.
+
+    Opaque to callers: :meth:`Runtime.construct_begin` returns it only when
+    a race detector is installed, and :meth:`Runtime.construct_end` unpacks
+    it.  Without a detector the bare hardware handle flows through instead,
+    keeping the common path allocation-free.
+    """
+
+    __slots__ = ("hw", "det")
+
+    def __init__(self, hw, det) -> None:
+        self.hw = hw
+        self.det = det
+
+
 class Runtime:
     """Executes a fork-join program on a simulated machine."""
 
@@ -47,6 +63,7 @@ class Runtime:
         policy: MarkingPolicy = MarkingPolicy.FULL,
         check_disentanglement: bool = True,
         access_monitor=None,
+        race_detector=None,
         max_steps: Optional[int] = None,
         seed: int = 0,
     ) -> None:
@@ -54,13 +71,23 @@ class Runtime:
         self.policy = policy
         self.check_disentanglement = check_disentanglement
         self.access_monitor = access_monitor
+        #: optional repro.verify.race.RaceDetector.  Its *logical* region
+        #: table always mirrors the FULL marking policy regardless of
+        #: ``policy`` or the protocol: the detector verifies the program's
+        #: WARD-eligibility (paper §3), which the hardware marking may only
+        #: conservatively under-approximate.
+        self.race_detector = race_detector
         self.engine = Engine(machine)
         self.engine.fork_handler = self._on_fork
         if max_steps is not None:
             self.engine.max_steps = max_steps
         self.scheduler = WorkStealingScheduler(self, seed=seed)
         self.engine.scheduler = self.scheduler
-        if check_disentanglement or access_monitor is not None:
+        if (
+            check_disentanglement
+            or access_monitor is not None
+            or race_detector is not None
+        ):
             self.engine.access_hook = self._access_hook
         self._counter_pool: dict = {}
         self._root_value: Any = None
@@ -80,6 +107,8 @@ class Runtime:
         """Execute ``root_fn(ctx, *args, **kwargs)``; return (result, stats)."""
         root = TaskNode(None)
         root.heap = Heap(root)
+        if self.race_detector is not None:
+            self.race_detector.on_root(root)
         ctx = TaskContext(self, root)
         strand = Strand(
             root_fn(ctx, *args, **kwargs),
@@ -111,30 +140,55 @@ class Runtime:
                 new_page.region = self.machine.add_ward_region(
                     self.current_thread, new_page.base, new_page.end
                 )
+            if self.race_detector is not None:
+                new_page.det_region = self.race_detector.region_begin(
+                    new_page.base, new_page.end
+                )
         return addr, cost
 
     def construct_begin(self, arr):
-        """Open a construct-scoped WARD region over an array's full blocks."""
-        if not (self.policy.marks_constructs and self.machine.supports_ward):
-            return None
-        bs = self.machine.config.block_size
-        start = (arr.base + bs - 1) // bs * bs
-        end = arr.end // bs * bs
-        if end <= start:
-            return None
-        return self.machine.add_ward_region(self.current_thread, start, end)
+        """Open a construct-scoped WARD region over an array's full blocks.
+
+        The hardware region is block-rounded inward (only whole blocks can
+        be relaxed); the race detector's logical region spans the whole
+        array — the construct's program-level WARD claim — so the rounded-
+        out edge elements are classified consistently with the interior.
+        """
+        hw_region = None
+        if self.policy.marks_constructs and self.machine.supports_ward:
+            bs = self.machine.config.block_size
+            start = (arr.base + bs - 1) // bs * bs
+            end = arr.end // bs * bs
+            if end > start:
+                hw_region = self.machine.add_ward_region(
+                    self.current_thread, start, end
+                )
+        if self.race_detector is None or arr.end <= arr.base:
+            return hw_region
+        det_region = self.race_detector.region_begin(arr.base, arr.end)
+        return _ConstructRegion(hw_region, det_region)
 
     def construct_end(self, region) -> None:
-        if region is not None:
-            self.machine.remove_ward_region(self.current_thread, region)
+        if region is None:
+            return
+        if type(region) is _ConstructRegion:
+            if region.hw is not None:
+                self.machine.remove_ward_region(self.current_thread, region.hw)
+            self.race_detector.region_end(region.det)
+            return
+        self.machine.remove_ward_region(self.current_thread, region)
 
     def _unmark_heap_pages(self, task: TaskNode, thread: int) -> None:
-        if not self._marking_on:
+        detector = self.race_detector
+        if not self._marking_on and detector is None:
             return
         for page in task.heap.pages:
             if page.region is not None:
                 self.machine.remove_ward_region(thread, page.region)
                 page.region = None
+            if detector is not None and page.det_region is not None:
+                detector.region_end(page.det_region)
+                page.det_region = None
 
     # ------------------------------------------------------------------
     # Fork handling (engine callback)
@@ -188,6 +242,10 @@ class Runtime:
                 on_done=self._make_child_done(record, index, child),
             )
             strands.append(strand)
+        if self.race_detector is not None:
+            # Fork edge in the happens-before graph: children inherit the
+            # parent's vector clock; the parent's own component advances.
+            self.race_detector.on_fork(parent_task, record.children)
 
         # Run the first child immediately; expose the rest for stealing.
         for strand in strands[1:]:
@@ -239,6 +297,10 @@ class Runtime:
             return
         # Last child: merge heaps (Fig. 2) and resume the parent here.
         parent_task = child.parent
+        if self.race_detector is not None:
+            # Join edge: every child clock merges into the parent before it
+            # resumes, ordering parent reads after all child effects.
+            self.race_detector.on_join(parent_task, record.children)
         for sibling in record.children:
             sibling.heap.merge_into(parent_task.heap)
         parent_task.join = None
@@ -287,6 +349,23 @@ class Runtime:
                 )
         if self.access_monitor is not None:
             self.access_monitor.on_access(
+                worker.thread,
+                op.addr,
+                op.size,
+                atype,
+                self.machine.cores[worker.thread].clock,
+            )
+        if (
+            self.race_detector is not None
+            and task is not None
+            and op.heap is not None
+        ):
+            # Runtime-arena traffic (join counters, result slots) carries
+            # heap=None: those addresses are recycled across unrelated
+            # forks with no happens-before edge, so only program (heap)
+            # accesses feed the detector.
+            self.race_detector.on_access(
+                task,
                 worker.thread,
                 op.addr,
                 op.size,

@@ -1,6 +1,25 @@
 """Dynamic checkers for the memory-discipline properties the paper relies on."""
 
 from repro.verify.coherence_checker import ReconciliationModel, WardMemoryModel
-from repro.verify.ward_checker import WardChecker
+from repro.verify.race import (
+    AccessInfo,
+    RaceDetector,
+    RaceFinding,
+    RegionLog,
+    happens_before,
+    vc_join,
+)
+from repro.verify.ward_checker import WardChecker, WardViolation
 
-__all__ = ["ReconciliationModel", "WardChecker", "WardMemoryModel"]
+__all__ = [
+    "AccessInfo",
+    "RaceDetector",
+    "RaceFinding",
+    "ReconciliationModel",
+    "RegionLog",
+    "WardChecker",
+    "WardMemoryModel",
+    "WardViolation",
+    "happens_before",
+    "vc_join",
+]

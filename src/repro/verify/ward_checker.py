@@ -15,11 +15,43 @@ own region bookkeeping via :meth:`region_added` / :meth:`region_removed`
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.common.errors import WardViolationError
 from repro.common.types import AccessType
 from repro.coherence.regions import RegionTable
+
+
+@dataclass(frozen=True)
+class WardViolation:
+    """One structured condition-1 violation record.
+
+    ``writer_regions`` are the region ids covering the address when the
+    write landed; ``reader_regions`` those active at the offending read;
+    ``shared_regions`` (their intersection) identifies the region epoch(s)
+    the RAW pair actually shares.
+    """
+
+    addr: int
+    writer: int
+    reader: int
+    writer_regions: Tuple[int, ...]
+    reader_regions: Tuple[int, ...]
+
+    @property
+    def shared_regions(self) -> Tuple[int, ...]:
+        return tuple(r for r in self.writer_regions if r in self.reader_regions)
+
+    def to_dict(self) -> dict:
+        return {
+            "addr": self.addr,
+            "writer": self.writer,
+            "reader": self.reader,
+            "writer_regions": list(self.writer_regions),
+            "reader_regions": list(self.reader_regions),
+            "shared_regions": list(self.shared_regions),
+        }
 
 
 class WardChecker:
@@ -38,7 +70,9 @@ class WardChecker:
         #: identifies one region *epoch*: the write and a later access share
         #: an epoch iff a recorded id is still active.
         self._writers: Dict[int, Tuple[int, FrozenSet[int]]] = {}
-        self.violations: List[WardViolationError] = []
+        #: structured :class:`WardViolation` records (non-raising mode keeps
+        #: accumulating them; raising mode records the first, then raises)
+        self.violations: List[WardViolation] = []
         #: cross-thread WAW events observed inside regions (condition 2)
         self.waw_events = 0
         self.checked_accesses = 0
@@ -92,10 +126,18 @@ class WardChecker:
             if entry is not None:
                 writer, writer_rids = entry
                 if writer != thread and not writer_rids.isdisjoint(active):
-                    violation = WardViolationError(addr, writer, thread)
+                    violation = WardViolation(
+                        addr,
+                        writer,
+                        thread,
+                        tuple(sorted(writer_rids)),
+                        tuple(sorted(active)),
+                    )
                     self.violations.append(violation)
                     if self.raise_on_violation:
-                        raise violation
+                        raise WardViolationError(
+                            addr, writer, thread, violation=violation
+                        )
             return
         # Stores and atomics: record the writer; count cross-thread WAWs.
         entry = self._writers.get(addr)

@@ -179,3 +179,79 @@ class TestRobustnessFlags:
         captured = capsys.readouterr()
         assert "robustness:" in captured.err
         assert "1 timeouts" in captured.err
+
+
+class TestVerify:
+    def test_parser_requires_all_xor_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--all", "--benchmark", "fib"])
+        args = build_parser().parse_args(["verify", "--benchmark", "fib"])
+        assert args.benchmark == "fib" and not args.all
+        assert args.protocol == "warden" and args.jobs == 1
+
+    def test_parser_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--benchmark", "nonsense"])
+
+    def test_verify_fib_json_round_trips(self, capsys):
+        from repro.analysis.conformance import SCHEMA, ConformanceReport
+
+        assert main(
+            ["verify", "--benchmark", "fib", "--size", "test", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == SCHEMA
+        assert payload["passed"] is True
+        (result,) = payload["results"]
+        assert result["benchmark"] == "fib" and result["races"] == 0
+        back = ConformanceReport.from_dict(payload)
+        assert back.passed and back.to_dict()["results"] == payload["results"]
+
+    def test_verify_text_output(self, capsys):
+        assert main(["verify", "--benchmark", "fib", "--size", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "fib" in out and "PASS" in out
+        assert "verify: all benchmarks conform" in out
+
+    def test_verify_violation_exits_1(self, capsys, monkeypatch):
+        from repro.analysis.conformance import (
+            ConformanceReport, ConformanceResult,
+        )
+
+        def fake_run_verify(names, config, **kwargs):
+            result = ConformanceResult(
+                benchmark=names[0], size="test", machine=config.name,
+                seed=42, protocol="warden",
+            )
+            result.fail("synthetic race for the exit-code test")
+            return ConformanceReport(size="test", machine=config.name,
+                                     seed=42, results=[result])
+
+        monkeypatch.setattr(cli, "run_verify", fake_run_verify)
+        assert main(["verify", "--benchmark", "fib", "--size", "test"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "synthetic race" in out
+        assert "VIOLATIONS FOUND" in out
+
+    def test_injected_worker_fault_is_not_masked(self, capsys, monkeypatch):
+        # An operational fault in the differential-leg pool must surface as
+        # exit 2 ("verify: error: ..."), never as a clean conformance PASS.
+        from repro.analysis.run import clear_cache
+
+        clear_cache()  # force the prefetch to actually run the task
+        monkeypatch.setenv("REPRO_FAULTS", "worker.fail@0")
+        code = main(["verify", "--benchmark", "fib", "--size", "test",
+                     "--jobs", "2", "--no-oracle"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "verify: error:" in err and "injected fault" in err
+
+    def test_worker_faults_inert_without_pool(self, capsys, monkeypatch):
+        # worker.* sites only fire inside pool workers; a serial verify run
+        # with the same plan must pass untouched.
+        monkeypatch.setenv("REPRO_FAULTS", "worker.fail@0")
+        assert main(["verify", "--benchmark", "fib", "--size", "test",
+                     "--no-oracle"]) == 0
+        assert "all benchmarks conform" in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""Golden-trace regression corpus (tests/golden/stats_digests.json).
+
+Every benchmark x protocol cell at the pinned configuration must hash to
+exactly the committed digest: the corpus freezes the simulator's full
+counter state (cycles, per-core stats, coherence message matrix), so any
+behavioural drift — intentional or not — fails here first.
+
+After an INTENTIONAL simulator change, regenerate with
+
+    PYTHONPATH=src python scripts/update_golden.py
+
+inspect the cycle/instruction deltas in the git diff, and commit the
+refreshed corpus alongside the change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.conformance import stats_digest
+from repro.analysis.run import run_benchmark
+from repro.common.config import dual_socket
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "stats_digests.json"
+)
+
+with open(GOLDEN_PATH, encoding="utf-8") as _handle:
+    GOLDEN = json.load(_handle)
+
+
+def test_corpus_metadata_is_pinned():
+    assert GOLDEN["schema"] == "warden-repro/golden/v1"
+    assert GOLDEN["machine"] == dual_socket().name
+    assert GOLDEN["size"] == "test" and GOLDEN["seed"] == 42
+    # every benchmark appears under both protocols
+    names = {key.split("/")[0] for key in GOLDEN["entries"]}
+    from repro.bench import PAPER_ORDER
+
+    assert names == set(PAPER_ORDER)
+    assert len(GOLDEN["entries"]) == 2 * len(PAPER_ORDER)
+
+
+@pytest.mark.parametrize("cell", sorted(GOLDEN["entries"]))
+def test_stats_match_golden_digest(cell):
+    name, protocol = cell.split("/")
+    expected = GOLDEN["entries"][cell]
+    result = run_benchmark(
+        name, protocol, dual_socket(),
+        size=GOLDEN["size"], seed=GOLDEN["seed"], use_disk_cache=False,
+    )
+    got = stats_digest(result.stats)
+    assert got == expected["digest"], (
+        f"RunStats drift in {cell}: digest {got[:16]}... != golden "
+        f"{expected['digest'][:16]}... (golden cycles="
+        f"{expected['cycles']}, got cycles={result.stats.cycles}). "
+        "If this change is intentional, regenerate the corpus with "
+        "`PYTHONPATH=src python scripts/update_golden.py` and commit "
+        "the diff."
+    )

@@ -1,0 +1,222 @@
+"""Property tests for the vector-clock race-detector core.
+
+Seeded-fuzz style (see ``test_protocol_fuzz.py``): seeds come from
+``REPRO_FUZZ_SEEDS`` (default ``1,2,3``) and every failure prints the exact
+replay command.  Properties checked over random fork/join trees:
+
+* **fork monotonicity** — each child clock dominates the parent clock at
+  the fork, with a fresh component of exactly 1 for the child itself;
+* **join monotonicity** — the parent clock after a join dominates every
+  joined child's final clock;
+* **HB transitivity** — on sampled access epochs, a ≺ b and b ≺ c imply
+  a ≺ c;
+* **race symmetry** — for concurrent access pairs, the per-address verdict
+  (race / benign WAW / atomic / clean) does not depend on the order the
+  detector observes the two accesses in;
+* **join erases races** — the parent touching every address after all
+  children joined adds no findings.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.hlpl.task import TaskNode
+from repro.verify.race import RaceDetector, happens_before, vc_join
+
+LOAD = AccessType.LOAD
+STORE = AccessType.STORE
+RMW = AccessType.RMW
+
+
+def fuzz_seeds():
+    text = os.environ.get("REPRO_FUZZ_SEEDS", "1,2,3")
+    return tuple(int(s) for s in text.replace(" ", "").split(",") if s)
+
+
+SEEDS = fuzz_seeds()
+
+
+def replay_hint(test_id: str, seed: int) -> str:
+    return (
+        f"fuzz failure (seed {seed}); replay with:\n"
+        f"  REPRO_FUZZ_SEEDS={seed} PYTHONPATH=src python -m pytest "
+        f"'tests/test_race_properties.py::{test_id}' -q"
+    )
+
+
+def run_replayable(test_id: str, seed: int, body) -> None:
+    try:
+        body()
+    except Exception as exc:  # noqa: BLE001 - reframe every fuzz failure
+        raise AssertionError(f"{replay_hint(test_id, seed)}\n{exc!r}") from exc
+
+
+def _dominates(big, small) -> bool:
+    return all(big.get(t, 0) >= c for t, c in small.items())
+
+
+# ----------------------------------------------------------------------
+# 1. Clock-structure properties over random trees
+# ----------------------------------------------------------------------
+
+def _random_tree_check(rng: random.Random) -> None:
+    """Build a random fork/join tree, asserting the clock laws at every
+    structural step and collecting epochs for the transitivity check."""
+    det = RaceDetector(raise_on_race=False)
+    root = TaskNode(None)
+    det.on_root(root)
+    samples = []  # (task_id, own_clock, vc_copy) observation points
+
+    def sample(task):
+        vc = det.clock_of(task)
+        samples.append((task.task_id, vc[task.task_id], vc))
+
+    def grow(task, depth):
+        sample(task)
+        forks = rng.randint(0, 2) if depth < 3 else 0
+        for _ in range(forks):
+            parent_vc = det.clock_of(task)
+            children = [TaskNode(task) for _ in range(rng.randint(2, 3))]
+            det.on_fork(task, children)
+            for child in children:
+                child_vc = det.clock_of(child)
+                assert _dominates(child_vc, parent_vc), "fork monotonicity"
+                assert child_vc[child.task_id] == 1, "fresh child component"
+            assert det.clock_of(task)[task.task_id] == (
+                parent_vc[task.task_id] + 1
+            ), "parent component advances at fork"
+            for child in children:
+                grow(child, depth + 1)
+            child_vcs = [det.clock_of(c) for c in children]
+            det.on_join(task, children)
+            joined = det.clock_of(task)
+            for cvc in child_vcs:
+                assert _dominates(joined, cvc), "join monotonicity"
+            sample(task)
+
+    grow(root, 0)
+
+    # HB transitivity over sampled epochs: a ≺ b iff b's clock covers a.
+    def hb(a, b):
+        return happens_before((a[1], a[0]), b[2])
+
+    for _ in range(300):
+        a, b, c = (rng.choice(samples) for _ in range(3))
+        if hb(a, b) and hb(b, c):
+            assert hb(a, c), f"transitivity broken: {a} {b} {c}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fork_join_monotonicity_and_transitivity(seed):
+    rng = random.Random(seed)
+    run_replayable(
+        f"test_fork_join_monotonicity_and_transitivity[{seed}]",
+        seed,
+        lambda: [_random_tree_check(rng) for _ in range(5)],
+    )
+
+
+def test_vc_join_is_least_upper_bound():
+    rng = random.Random(7)
+    for _ in range(100):
+        a = {rng.randint(0, 9): rng.randint(1, 9) for _ in range(rng.randint(0, 5))}
+        b = {rng.randint(0, 9): rng.randint(1, 9) for _ in range(rng.randint(0, 5))}
+        j = vc_join(dict(a), b)
+        assert _dominates(j, a) and _dominates(j, b)
+        assert all(j[t] == max(a.get(t, 0), b.get(t, 0)) for t in j)
+        assert vc_join(dict(j), b) == j  # absorbing
+
+
+# ----------------------------------------------------------------------
+# 2. Race symmetry over random concurrent access pairs
+# ----------------------------------------------------------------------
+
+def _verdicts(det: RaceDetector):
+    return (
+        {f.addr for f in det.races},
+        {f.addr for f in det.benign_waws},
+        det.atomic_updates,
+    )
+
+
+def _expected(addr_ops, in_region) -> str:
+    (a1, a2) = addr_ops
+    if a1 is LOAD and a2 is LOAD:
+        return "clean"
+    if a1 is RMW and a2 is RMW:
+        return "atomic"
+    if LOAD in (a1, a2):
+        return "race"
+    return "benign" if in_region else "race"
+
+
+def _run_script(script, region_span):
+    det = RaceDetector(raise_on_race=False)
+    root = TaskNode(None)
+    det.on_root(root)
+    children = [TaskNode(root) for _ in range(4)]
+    det.on_fork(root, children)
+    det.region_begin(*region_span)
+    for child_index, thread, addr, atype in script:
+        det.on_access(children[child_index], thread, addr, 8, atype)
+    # Join erases concurrency: parent touches everything afterwards.
+    det.on_join(root, children)
+    pre = _verdicts(det)
+    for _, _, addr, _ in script:
+        det.on_access(root, 0, addr, 8, LOAD)
+        det.on_access(root, 0, addr, 8, STORE)
+    assert _verdicts(det) == pre, "post-join parent accesses raced"
+    return pre
+
+
+def _symmetry_check(rng: random.Random) -> None:
+    region_span = (0, 1024)
+    pairs = []
+    for i in range(rng.randint(2, 8)):
+        in_region = rng.random() < 0.5
+        addr = (8 * i) if in_region else (4096 + 8 * i)
+        c1, c2 = rng.sample(range(4), 2)
+        ops = (rng.choice((LOAD, STORE, RMW)), rng.choice((LOAD, STORE, RMW)))
+        pairs.append((addr, in_region, (c1, c2), ops))
+
+    forward, backward = [], []
+    for addr, _, (c1, c2), (op1, op2) in pairs:
+        forward.append((c1, c1, addr, op1))
+        forward.append((c2, c2, addr, op2))
+        backward.append((c2, c2, addr, op2))
+        backward.append((c1, c1, addr, op1))
+    rng.shuffle(forward)
+
+    fwd = _run_script(forward, region_span)
+    bwd = _run_script(backward, region_span)
+    assert fwd[0] == bwd[0], "raced addresses differ by observation order"
+    assert fwd[1] == bwd[1], "benign addresses differ by observation order"
+    assert fwd[2] == bwd[2], "atomic counts differ by observation order"
+
+    raced, benign, atomic = fwd
+    for addr, in_region, _, ops in pairs:
+        want = _expected(ops, in_region)
+        if want == "race":
+            assert addr in raced, f"expected race at {addr:#x} ({ops})"
+        elif want == "benign":
+            assert addr in benign and addr not in raced
+        elif want == "clean":
+            assert addr not in raced and addr not in benign
+    assert atomic == sum(
+        1 for _, _, _, ops in pairs if _expected(ops, False) == "atomic"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_race_symmetry(seed):
+    rng = random.Random(seed * 1000 + 1)
+    run_replayable(
+        f"test_race_symmetry[{seed}]",
+        seed,
+        lambda: [_symmetry_check(rng) for _ in range(10)],
+    )

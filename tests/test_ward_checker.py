@@ -40,12 +40,47 @@ class TestRawDetection:
 
     def test_violation_details(self):
         c = WardChecker(raise_on_violation=False)
-        c.region_added(0, 64)
+        region = c.region_added(0, 64)
         c.on_access(3, 16, 8, STORE)
         c.on_access(5, 16, 8, LOAD)
         assert not c.clean
         v = c.violations[0]
         assert (v.writer, v.reader, v.addr) == (3, 5, 16)
+        assert v.writer_regions == (region.region_id,)
+        assert v.reader_regions == (region.region_id,)
+        assert v.shared_regions == (region.region_id,)
+
+    def test_recording_mode_accumulates_structured_records(self):
+        c = WardChecker(raise_on_violation=False)
+        outer = c.region_added(0, 128)
+        inner = c.region_added(0, 64)
+        c.on_access(0, 8, 8, STORE)   # covered by outer + inner
+        c.on_access(1, 8, 8, LOAD)
+        c.region_removed(inner)
+        c.on_access(2, 8, 8, LOAD)    # outer epoch still pairs the write
+        assert [v.reader for v in c.violations] == [1, 2]
+        first, second = c.violations
+        assert set(first.shared_regions) == {
+            outer.region_id, inner.region_id,
+        }
+        assert second.shared_regions == (outer.region_id,)
+        assert first.to_dict()["shared_regions"] == sorted(
+            first.shared_regions
+        )
+
+    def test_raise_path_carries_the_structured_record(self):
+        c = WardChecker()
+        region = c.region_added(0, 64)
+        c.on_access(3, 16, 8, STORE)
+        with pytest.raises(WardViolationError) as info:
+            c.on_access(5, 16, 8, LOAD)
+        exc = info.value
+        assert (exc.addr, exc.writer, exc.reader) == (16, 3, 5)
+        assert exc.violation is not None
+        assert exc.violation.shared_regions == (region.region_id,)
+        assert f"region id {region.region_id}" in str(exc)
+        # raising mode still records the violation before raising
+        assert c.violations == [exc.violation]
 
 
 class TestRegionEpochs:
