@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""CI gate: the vectorized replay kernel must be bit-identical to the engine.
+
+Records one cell (primes/warden at the small input on the dual-socket
+machine) with the tracing engine, replays the trace through the packed
+replay kernel — after a serialization round-trip, so the on-disk format is
+on the hook too — and diffs the full ``RunStats.to_dict()``: cycles,
+per-core counters, and the coherence message matrix.  Any mismatch prints
+the differing keys and exits non-zero.
+
+The broader matrix (every benchmark x protocol at the "test" size, both
+the numpy and pure-Python preprocessing paths) lives in
+tests/test_replay.py; this script is the cheap standalone smoke for the
+replay-bit-identity CI job.
+
+Usage: PYTHONPATH=src python scripts/check_replay_identity.py
+       [benchmark] [protocol] [size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def diff_dicts(replayed: dict, reference: dict, prefix: str = "") -> list:
+    diffs = []
+    for key in sorted(set(replayed) | set(reference)):
+        path = f"{prefix}{key}"
+        left = replayed.get(key)
+        right = reference.get(key)
+        if isinstance(left, dict) and isinstance(right, dict):
+            diffs.extend(diff_dicts(left, right, path + "."))
+        elif left != right:
+            diffs.append(f"  {path}: replayed={left!r} reference={right!r}")
+    return diffs
+
+
+def main(argv) -> int:
+    name = argv[1] if len(argv) > 1 else "primes"
+    protocol = argv[2] if len(argv) > 2 else "warden"
+    size = argv[3] if len(argv) > 3 else "small"
+
+    from repro.common.config import dual_socket
+    from repro.replay import Trace, record_benchmark, replay_trace
+
+    trace, reference = record_benchmark(
+        name, protocol, dual_socket(), size=size
+    )
+    replayed = replay_trace(Trace.from_bytes(trace.to_bytes()))
+
+    diffs = diff_dicts(replayed.stats.to_dict(), reference.stats.to_dict())
+    if replayed.result != reference.result:
+        diffs.append("  benchmark result values differ")
+    if diffs:
+        print(f"FAIL: {name}/{protocol}/{size} replay diverges from the "
+              f"recording engine run:")
+        print("\n".join(diffs))
+        return 1
+    print(f"ok: {name}/{protocol}/{size} replay bit-identical to the engine "
+          f"({len(trace)} events, {replayed.stats.instructions} instructions, "
+          f"{replayed.stats.cycles} cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -114,10 +114,18 @@ class BenchJournal:
 
 
 def _suite_fingerprint(
-    suite: List[Tuple[str, str]], config: MachineConfig, repeats: int
+    suite: List[Tuple[str, str]],
+    config: MachineConfig,
+    repeats: int,
+    mode: str = "sim",
 ) -> str:
     payload = json.dumps(
-        {"suite": suite, "config": config_fingerprint(config), "repeats": repeats}
+        {
+            "suite": suite,
+            "config": config_fingerprint(config),
+            "repeats": repeats,
+            "mode": mode,
+        }
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
@@ -131,6 +139,7 @@ def run_bench_suite(
     retries: int = 0,
     resume: bool = False,
     report: Optional[MatrixReport] = None,
+    mode: str = "sim",
 ) -> Dict:
     """Time the bench suite; return the report dict (see BENCH_SCHEMA).
 
@@ -138,7 +147,14 @@ def run_bench_suite(
     not cache lookups.  With ``repeats > 1`` each row is run that many
     times and the *fastest* wall-clock is kept (standard noise floor).
 
-    ``timeout``/``retries`` run each row through the robust single-task
+    ``mode="replay"`` times the vectorized replay kernel instead of the
+    interpreted engine: each row's trace is recorded (or fetched from the
+    trace store) *untimed*, then only :func:`~repro.replay.replay_trace`
+    is measured.  Replay rows always run in-process — the robustness knobs
+    (``timeout``/``retries``) apply to ``mode="sim"`` only, since a replay
+    is a short deterministic array walk with nothing to preempt.
+
+    ``timeout``/``retries`` run each sim row through the robust single-task
     path (:func:`~repro.analysis.pool.run_task_robust`; with a timeout each
     attempt gets a fresh single-worker process, and the row's wall-clock is
     measured inside that process so pool spawn overhead never pollutes the
@@ -147,11 +163,11 @@ def run_bench_suite(
     """
     config = config if config is not None else dual_socket()
     suite = QUICK_SUITE if quick else FULL_SUITE
-    robust = timeout is not None or retries > 0
+    robust = mode == "sim" and (timeout is not None or retries > 0)
     journal: Optional[BenchJournal] = None
     done: Dict[str, Dict] = {}
     if resume:
-        journal = BenchJournal(_suite_fingerprint(suite, config, repeats))
+        journal = BenchJournal(_suite_fingerprint(suite, config, repeats, mode))
         done = journal.load()
         if done and report is not None:
             report.resumed += len(done)
@@ -169,6 +185,49 @@ def run_bench_suite(
                 continue
             best_wall = None
             result = None
+            if mode == "replay":
+                from repro.analysis.pool import task_fingerprint
+                from repro.replay import (
+                    TraceStore,
+                    record_benchmark,
+                    replay_trace,
+                )
+
+                store = TraceStore()
+                fp = task_fingerprint(RunTask(
+                    benchmark=name,
+                    protocol=protocol,
+                    config=config,
+                    size=size,
+                ))
+                trace = store.load(fp)
+                if trace is None:
+                    trace, _ = record_benchmark(
+                        name, protocol, config, size=size, fingerprint=fp
+                    )
+                    store.store(fp, trace)
+                for _ in range(max(1, repeats)):
+                    t0 = time.perf_counter()
+                    result = replay_trace(trace)
+                    wall = time.perf_counter() - t0
+                    if best_wall is None or wall < best_wall:
+                        best_wall = wall
+                stats = result.stats
+                row = {
+                    "benchmark": name,
+                    "protocol": result.protocol,
+                    "size": size,
+                    "wall_s": best_wall,
+                    "instructions": stats.instructions,
+                    "cycles": stats.cycles,
+                    "steps_per_second": stats.instructions / best_wall
+                    if best_wall
+                    else 0.0,
+                }
+                runs.append(row)
+                if journal is not None:
+                    journal.append(row)
+                continue
             for _ in range(max(1, repeats)):
                 if robust:
                     task = RunTask(
@@ -220,6 +279,7 @@ def run_bench_suite(
     out = {
         "schema": BENCH_SCHEMA,
         "suite": "quick" if quick else "full",
+        "mode": mode,
         "machine": config.name,
         "runs": runs,
         "totals": {
@@ -270,8 +330,10 @@ def render_report(report: Dict) -> str:
     """Human-readable table for one bench report (any schema version)."""
     meta = host_meta(report)
     host = f" ({meta['host_cpus']} host cpus)" if meta.get("host_cpus") else ""
+    mode = report.get("mode", "sim")
+    mode_tag = f" [{mode}]" if mode != "sim" else ""
     lines = [
-        f"bench suite: {report['suite']} on {report['machine']} "
+        f"bench suite: {report['suite']}{mode_tag} on {report['machine']} "
         f"({meta.get('python', '?')}){host}",
         f"{'benchmark':<14} {'protocol':<8} {'size':<8} "
         f"{'wall (s)':>9} {'instrs':>10} {'steps/s':>12}",
@@ -298,6 +360,45 @@ def write_report(path, report: Dict) -> None:
 
 def load_report(path) -> Dict:
     return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def find_default_baseline(
+    directory=".", mode: str = "sim", exclude=None
+) -> Tuple[Optional[Path], Optional[Dict]]:
+    """Newest committed ``BENCH_*.json`` whose mode matches, or (None, None).
+
+    ``warden-repro bench`` auto-selects its baseline with this when the
+    user passes none: reports in ``directory`` are filtered to the given
+    ``mode`` (reports without a ``mode`` field are schema-1/2 sim reports)
+    and the newest by ``meta.timestamp`` (file mtime as fallback) wins.
+    ``exclude`` skips a path — typically the report being written, so a
+    run never compares against itself.
+    """
+    directory = Path(directory)
+    exclude = Path(exclude).resolve() if exclude is not None else None
+    best: Tuple = (None, None)
+    best_stamp = ""
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if exclude is not None and path.resolve() == exclude:
+            continue
+        try:
+            report = load_report(path)
+        except (OSError, ValueError):
+            continue
+        if report.get("mode", "sim") != mode:
+            continue
+        stamp = str(host_meta(report).get("timestamp", ""))
+        if not stamp:
+            try:
+                stamp = time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime(path.stat().st_mtime)
+                )
+            except OSError:
+                continue
+        if stamp >= best_stamp:
+            best = (path, report)
+            best_stamp = stamp
+    return best
 
 
 def compare_to_baseline(

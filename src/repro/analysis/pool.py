@@ -788,6 +788,66 @@ def _run_matrix_robust(
 # ----------------------------------------------------------------------
 
 
+def _replay_task(blob: bytes, config):
+    """Replay one serialized trace under ``config`` (pool worker entry).
+
+    Takes the trace as bytes so the pool ships one compact blob per task
+    instead of a pickled object graph; module-level for picklability."""
+    from repro.replay import Trace, replay_trace
+
+    return replay_trace(Trace.from_bytes(blob), config=config)
+
+
+def replay_matrix(
+    base: RunTask,
+    variants,
+    jobs: int = 1,
+    trace_store=None,
+):
+    """Record ``base`` once, then replay its trace under each variant config.
+
+    This is the sweep-amplification primitive: an N-point memory-hierarchy
+    sweep costs one interpreted run plus N cheap kernel replays instead of
+    N interpreted runs.  A variant equal to the recorded config replays
+    bit-identically; any other config is a *trace-driven approximation* —
+    the instruction stream is the recorded one, only the memory system's
+    response changes (see :mod:`repro.replay`) — so results are returned
+    directly and never fed into the exact-result caches.
+
+    The trace comes from ``trace_store`` (default: the shared
+    ``.warden-cache/traces`` store) when a fingerprint-valid recording
+    exists, and is recorded (and persisted) otherwise.  Results come back
+    in variant order; with ``jobs > 1`` replays fan out over a process
+    pool.
+    """
+    from repro.replay import TraceStore, record_benchmark, replay_trace
+
+    store = trace_store if trace_store is not None else TraceStore()
+    key = task_fingerprint(base)
+    trace = store.load(key)
+    if trace is None:
+        trace, _ = record_benchmark(
+            base.benchmark,
+            base.protocol,
+            base.config,
+            size=base.size,
+            seed=base.seed,
+            policy=base.policy,
+            fingerprint=key,
+        )
+        store.store(key, trace)
+    variants = list(variants)
+    if jobs <= 1 or len(variants) <= 1:
+        return [replay_trace(trace, config=cfg) for cfg in variants]
+    blob = trace.to_bytes()
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(variants)))
+    try:
+        futures = [pool.submit(_replay_task, blob, cfg) for cfg in variants]
+        return [future.result() for future in futures]
+    finally:
+        pool.shutdown()
+
+
 def run_task_robust(
     task: RunTask,
     *,

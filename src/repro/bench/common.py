@@ -59,12 +59,13 @@ def input_array(ctx, values, elem_size: int = 8, name: str = "input"):
     """
     arr = yield from ctx.alloc_array(len(values), elem_size, name=name)
     arr.data[:] = list(values)
-    protocol = ctx.rt.machine.protocol
-    bs = ctx.rt.machine.config.block_size
+    machine = ctx.rt.machine
+    bs = machine.config.block_size
+    thread = ctx.rt.current_thread
     from repro.common.types import block_range
 
     for block in block_range(arr.base, max(len(values), 1) * elem_size, bs):
-        protocol._llc_fill(block)
+        machine.llc_warm_fill(block, thread)
     return arr
 
 

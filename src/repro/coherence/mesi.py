@@ -56,6 +56,21 @@ _DATA_E = MessageType.DATA_E
 _WB_DATA = MessageType.WB_DATA
 
 
+def llc_config(config: MachineConfig) -> CacheConfig:
+    """Geometry of one socket's shared LLC slice.
+
+    Table 2 gives the L3 size *per core*; a socket's slice aggregates the
+    per-core allocations.  Shared with the replay kernel so both sides
+    derive the same slice geometry from one rule.
+    """
+    return CacheConfig(
+        size_bytes=config.l3.size_bytes * config.cores_per_socket,
+        associativity=config.l3.associativity,
+        block_size=config.block_size,
+        latency=config.l3.latency,
+    )
+
+
 class MESIProtocol:
     """The MESI baseline: every sharing event pays invalidations/downgrades."""
 
@@ -92,12 +107,7 @@ class MESIProtocol:
                     tracer=self.tracer,
                 )
             )
-        llc_cfg = CacheConfig(
-            size_bytes=config.l3.size_bytes * config.cores_per_socket,
-            associativity=config.l3.associativity,
-            block_size=config.block_size,
-            latency=config.l3.latency,
-        )
+        llc_cfg = llc_config(config)
         self.llc: List[SetAssocCache] = [
             SetAssocCache(llc_cfg, f"L3-{s}") for s in range(config.num_sockets)
         ]

@@ -61,6 +61,10 @@ class RegionTable:
     def __len__(self) -> int:
         return len(self._regions)
 
+    def __bool__(self) -> bool:
+        """True when any region is active (hot-path guard before lookup)."""
+        return bool(self._regions)
+
     @property
     def full(self) -> bool:
         return self.capacity is not None and len(self._regions) >= self.capacity

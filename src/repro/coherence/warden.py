@@ -38,6 +38,30 @@ M = CoherenceState.MODIFIED
 W = CoherenceState.WARD
 
 
+def reconcile_plan(masks):
+    """Merge decision for one W block's private copies (§5.2).
+
+    ``masks`` is the ordered list of written-sector masks, one per private
+    copy (ascending core order).  Returns ``(union_mask, true_sharing,
+    keep_flags)`` where ``keep_flags[i]`` says copy ``i`` is fully current
+    (it wrote every written sector, or nothing was written) and may be
+    retained in state S; the rest are stale and must be invalidated.
+
+    Pure so the object protocol and the vectorized replay kernel share one
+    definition of the merge — they cannot drift apart.
+    """
+    union_mask = 0
+    true_sharing = False
+    seen = 0
+    for mask in masks:
+        if mask & seen:
+            true_sharing = True
+        seen |= mask
+        union_mask |= mask
+    keep_flags = [mask == union_mask for mask in masks]
+    return union_mask, true_sharing, keep_flags
+
+
 class WARDenProtocol(MESIProtocol):
     """MESI augmented with the WARD state; full MESI behaviour is preserved
     for every address outside an active WARD region (legacy apps run
@@ -141,19 +165,13 @@ class WARDenProtocol(MESIProtocol):
             copies.append((core, block))
 
         self.stats.reconciled_blocks += 1
-        union_mask = 0
-        true_sharing = False
-        seen = 0
-        for _, block in copies:
-            if block.written_mask & seen:
-                true_sharing = True
-            seen |= block.written_mask
-            union_mask |= block.written_mask
+        union_mask, true_sharing, keep_flags = reconcile_plan(
+            [block.written_mask for _, block in copies]
+        )
 
         keep = set()
         writebacks = 0
-        for core, block in copies:
-            current = block.written_mask == union_mask
+        for (core, block), current in zip(copies, keep_flags):
             if block.written_mask:
                 self.noc.core_to_home(core, home, MessageType.RECONCILE)
                 self.stats.writebacks += 1

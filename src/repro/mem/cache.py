@@ -17,6 +17,25 @@ from repro.mem.block import CacheBlock
 EvictionHook = Callable[[CacheBlock], None]
 
 
+def set_index_params(config: CacheConfig) -> tuple:
+    """``(num_sets, block_shift, set_mask)`` for a cache geometry.
+
+    ``block_shift``/``set_mask`` are -1 when the block size / set count is
+    not a power of two (the caller must then use the slow arithmetic).
+    Shared between :class:`SetAssocCache` and the replay kernel so both
+    sides index sets identically by construction.
+    """
+    num_sets = config.num_sets
+    bs = config.block_size
+    block_shift = bs.bit_length() - 1 if bs & (bs - 1) == 0 else -1
+    set_mask = (
+        num_sets - 1
+        if block_shift >= 0 and num_sets & (num_sets - 1) == 0
+        else -1
+    )
+    return num_sets, block_shift, set_mask
+
+
 class SetAssocCache:
     """An LRU set-associative cache of :class:`CacheBlock` entries."""
 
@@ -33,18 +52,14 @@ class SetAssocCache:
         self.on_evict = on_evict
         #: optional :class:`repro.obs.tracer.Tracer` (eviction events)
         self.tracer = tracer
-        self.num_sets = config.num_sets
         self.assoc = config.associativity
         self.block_size = config.block_size
         # Block sizes are powers of two in every paper configuration, so the
         # divide in set indexing becomes a shift; when the set count is also
         # a power of two the modulo becomes a mask.  -1 marks "not a power
         # of two, use the slow arithmetic".
-        bs = config.block_size
-        self._block_shift = bs.bit_length() - 1 if bs & (bs - 1) == 0 else -1
-        nsets = self.num_sets
-        self._set_mask = (
-            nsets - 1 if self._block_shift >= 0 and nsets & (nsets - 1) == 0 else -1
+        self.num_sets, self._block_shift, self._set_mask = set_index_params(
+            config
         )
         self._sets: Dict[int, "OrderedDict[int, CacheBlock]"] = {}
         self.hits = 0

@@ -172,6 +172,26 @@ class MatrixEvent:
 
 
 @dataclass(slots=True)
+class ReplayEvent:
+    """A trace record/replay lifecycle event (see :mod:`repro.replay`).
+
+    ``action`` is ``record-start``/``record-done``/``trace-hit``/
+    ``replay-start``/``replay-done``; ``events`` is the trace length (0
+    while unknown).  ``cycle`` is always 0 — like :class:`MatrixEvent`,
+    these are host-side events outside any machine's simulated clock, and
+    the field only keeps the event shape uniform for collectors.
+    """
+
+    kind: ClassVar[str] = "replay"
+    cycle: int
+    action: str
+    benchmark: str
+    protocol: str
+    events: int = 0
+    detail: str = ""
+
+
+@dataclass(slots=True)
 class RaceEvent:
     """A happens-before detector finding (see :mod:`repro.verify.race`).
 
@@ -203,6 +223,7 @@ EVENT_TYPES = (
     StealEvent,
     StrandEvent,
     MatrixEvent,
+    ReplayEvent,
     RaceEvent,
 )
 

@@ -1,0 +1,28 @@
+"""Optional-dependency shim for the replay subsystem.
+
+numpy accelerates trace *preprocessing* (block factorization, repeat-run
+detection, set-index tables); the event interpreter itself is pure Python
+either way, so replay results are bit-identical with or without it.  The
+``REPRO_NUMPY=0`` escape hatch forces the pure-Python fallback — tests use
+it to exercise both paths on a numpy-equipped host, and it documents that
+numpy is an accelerator (the ``[fast]`` extra), never a requirement.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def load_numpy():
+    """Return the numpy module, or None (not installed, or ``REPRO_NUMPY=0``).
+
+    Resolved at each call site (not import time) so the environment gate
+    can be flipped between replays within one process.
+    """
+    if os.environ.get("REPRO_NUMPY", "1") == "0":
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy

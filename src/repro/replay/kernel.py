@@ -1,0 +1,992 @@
+"""The vectorized replay kernel: trace in, bit-identical ``RunStats`` out.
+
+Instead of per-block :class:`CacheBlock` objects, directory-entry objects,
+and a scheduler deciding what runs next, the kernel drives the MESI/WARDen
+state machines directly from a recorded trace over packed arrays:
+
+* block addresses are factorized once into dense ids (numpy ``unique``
+  when available — see :mod:`repro.replay._compat`), so all per-block
+  state lives in flat arrays: a ``bytearray`` of coherence states and a
+  written-mask list per core, plus directory state/owner arrays and an
+  int-bitmask sharer vector;
+* cache sets are plain dicts keyed by block id (insertion order = LRU
+  order, exactly like :class:`~repro.mem.cache.SetAssocCache`'s ordered
+  sets), so presence in the dict *is* validity;
+* consecutive same-thread accesses to the same block — the dominant
+  pattern after epoching — are flagged at load time (``rep``) and served
+  by a branch-minimal fast path: a guaranteed L1-MRU hit with inline core
+  timing, no LRU maintenance, no method calls.
+
+Every slow-path transaction is a line-for-line transcription of
+:class:`~repro.coherence.mesi.MESIProtocol` /
+:class:`~repro.coherence.warden.WARDenProtocol` (state codes I=0 S=1 E=2
+M=3 W=4), sharing the genuinely subtle pieces —
+:func:`~repro.coherence.warden.reconcile_plan`,
+:func:`~repro.mem.cache.set_index_params`,
+:func:`~repro.coherence.mesi.llc_config`, and the real
+:class:`~repro.coherence.regions.RegionTable` — with the object protocol,
+so the two cannot drift on the parts that are easy to get wrong.  The
+replay-identity tests then pin the rest bit-for-bit.
+
+Replaying under a *different* config than the recorded one is a
+trace-driven approximation: the instruction stream is the recorded one,
+only the memory system's response changes.  Useful for memory-hierarchy
+sweeps; never fed into the exact-result caches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import List, Optional
+
+from repro.common.config import MachineConfig
+from repro.common.stats import CoreStats, RunStats
+from repro.common.types import MessageType
+from repro.coherence.mesi import MESIProtocol, llc_config
+from repro.coherence.regions import RegionTable
+from repro.coherence.warden import reconcile_plan
+from repro.energy.model import EnergyModel
+from repro.mem.cache import set_index_params
+from repro.obs.tracer import ReplayEvent
+from repro.replay._compat import load_numpy
+from repro.replay.trace import (
+    AT_LOAD,
+    K_ACCESS,
+    K_LLC_WARM,
+    K_PLACE,
+    K_REGION_ADD,
+    K_REGION_REMOVE,
+    K_SYNC,
+    Trace,
+    config_from_dict,
+    decode_result,
+)
+
+_PAGE_SHIFT = MESIProtocol.PAGE_SHIFT
+
+_GET_S = MessageType.GET_S
+_GET_M = MessageType.GET_M
+_UPGRADE = MessageType.UPGRADE
+_PUT_M = MessageType.PUT_M
+_FWD_GET_S = MessageType.FWD_GET_S
+_FWD_GET_M = MessageType.FWD_GET_M
+_INV = MessageType.INV
+_INV_ACK = MessageType.INV_ACK
+_DATA = MessageType.DATA
+_DATA_E = MessageType.DATA_E
+_WB_DATA = MessageType.WB_DATA
+_RECONCILE = MessageType.RECONCILE
+_REGION_ADD_MSG = MessageType.REGION_ADD
+_REGION_REMOVE_MSG = MessageType.REGION_REMOVE
+
+# coherence state codes in the packed per-(core, block) state arrays;
+# st >= _E <=> the state grants writes silently (M/E/W)
+_I, _S, _E, _M, _W = 0, 1, 2, 3, 4
+
+
+
+def _preprocess(tr, bs: int):
+    """Config-independent load-time pass: column lists, block-id
+    factorization, the adjacent-repeat flags, and written-sector masks.
+
+    Memoized per trace (keyed by block size) — see ``Trace._prep``.
+    """
+    n = len(tr)
+    kind = tr.kind.tolist()
+    thr = tr.thread.tolist()
+    atype = tr.atype.tolist()
+    sizes = tr.size.tolist()
+    spin = tr.spin.tolist()
+    addr = tr.addr.tolist()
+    aux = tr.aux.tolist()
+    pre_i = tr.pre_instrs.tolist()
+    pre_c = tr.pre_cycles.tolist()
+
+    np = load_numpy()
+    if np is not None and n:
+        kind_a = np.frombuffer(tr.kind, dtype=np.uint8)
+        thr_a = np.frombuffer(tr.thread, dtype=np.int16)
+        addr_a = np.frombuffer(tr.addr, dtype=np.int64)
+        acc = kind_a == K_ACCESS
+        # warm fills occupy LLC ways too, so their blocks need ids even
+        # when no access ever touches them
+        blk = acc | (kind_a == K_LLC_WARM)
+        baddr_a = addr_a - addr_a % bs
+        uniq, inverse = np.unique(baddr_a[blk], return_inverse=True)
+        bid_a = np.full(n, -1, dtype=np.int64)
+        bid_a[blk] = inverse
+        rep_a = np.zeros(n, dtype=bool)
+        rep_a[1:] = (
+            acc[1:]
+            & acc[:-1]
+            & (thr_a[1:] == thr_a[:-1])
+            & (baddr_a[1:] == baddr_a[:-1])
+        )
+        bid = bid_a.tolist()
+        rep = rep_a.tolist()
+        baddrs = uniq.tolist()
+    else:
+        bid = [-1] * n
+        rep = [False] * n
+        uniq_set = set()
+        for k in range(n):
+            if kind[k] == K_ACCESS or kind[k] == K_LLC_WARM:
+                a = addr[k]
+                uniq_set.add(a - a % bs)
+        # sorted: block-id order == address order, matching np.unique
+        # (and hence sorted(region.blocks) iterates like the object
+        # protocol's sorted block addresses)
+        baddrs = sorted(uniq_set)
+        index = {a: i for i, a in enumerate(baddrs)}
+        prev_acc = False
+        pt = -1
+        pb = -1
+        for k in range(n):
+            kd = kind[k]
+            if kd == K_ACCESS or kd == K_LLC_WARM:
+                a = addr[k]
+                b = index[a - a % bs]
+                bid[k] = b
+                if kd != K_ACCESS:
+                    prev_acc = False
+                    continue
+                if prev_acc and thr[k] == pt and b == pb:
+                    rep[k] = True
+                prev_acc = True
+                pt = thr[k]
+                pb = b
+            else:
+                prev_acc = False
+
+    # Written-sector masks per event.  Pure Python on purpose: a
+    # block-size-64 mask is up to (1<<64)-1, past int64.
+    mask = [0] * n
+    for k in range(n):
+        if kind[k] == K_ACCESS and atype[k] != AT_LOAD:
+            a = addr[k]
+            mask[k] = ((1 << sizes[k]) - 1) << (a % bs)
+
+    return (kind, thr, atype, spin, addr, aux, pre_i, pre_c,
+            bid, rep, baddrs, mask)
+
+
+class ReplayKernel:
+    """Replays one :class:`~repro.replay.trace.Trace` over packed arrays."""
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None):
+        self.trace = trace
+        meta = trace.meta
+        self.config = (
+            config if config is not None else config_from_dict(meta["config"])
+        )
+        self.is_warden = bool(meta.get("supports_ward"))
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    # Load-time preprocessing (the vectorized part)
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        tr = self.trace
+        cfg = self.config
+        bs = cfg.block_size
+        # The factorized event columns depend only on the block size, so
+        # they are memoized on the trace: repeat replays (bench repeats)
+        # and config sweeps (replay_matrix) skip the load-time pass.
+        prepped = tr._prep.get(bs)
+        if prepped is None:
+            prepped = tr._prep[bs] = _preprocess(tr, bs)
+        (self._kind, self._thr, self._atype, self._spin, self._addr,
+         self._aux, self._pre_i, self._pre_c, self._bid, self._rep,
+         self.baddrs, self._mask) = prepped
+        self.nblocks = len(self.baddrs)
+
+        np = load_numpy()
+        llc_cfg = llc_config(cfg)
+        self.sidx1 = self._set_indices(cfg.l1, np)
+        self.sidx2 = self._set_indices(cfg.l2, np)
+        self.sidxL = self._set_indices(llc_cfg, np)
+        self.l1_assoc = cfg.l1.associativity
+        self.l2_assoc = cfg.l2.associativity
+        self.llc_assoc = llc_cfg.associativity
+
+        baddrs = self.baddrs
+        nsock = cfg.num_sockets
+        if np is not None and baddrs:
+            u = np.array(baddrs, dtype=np.int64)
+            self.page_of = (u >> _PAGE_SHIFT).tolist()
+            self.interleave = ((u // bs) % nsock).tolist()
+        else:
+            self.page_of = [a >> _PAGE_SHIFT for a in baddrs]
+            self.interleave = [(a // bs) % nsock for a in baddrs]
+
+    def _set_indices(self, cache_cfg, np) -> List[int]:
+        num_sets, shift, maskv = set_index_params(cache_cfg)
+        baddrs = self.baddrs
+        if np is not None and baddrs:
+            u = np.array(baddrs, dtype=np.int64)
+            if maskv >= 0:
+                idx = (u >> shift) & maskv
+            elif shift >= 0:
+                idx = (u >> shift) % num_sets
+            else:
+                idx = (u // cache_cfg.block_size) % num_sets
+            return idx.tolist()
+        if maskv >= 0:
+            return [(a >> shift) & maskv for a in baddrs]
+        if shift >= 0:
+            return [(a >> shift) % num_sets for a in baddrs]
+        bsz = cache_cfg.block_size
+        return [(a // bsz) % num_sets for a in baddrs]
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> RunStats:
+        cfg = self.config
+        nthreads = cfg.num_threads
+        ncores = cfg.num_cores
+        nblocks = self.nblocks
+
+        # protocol state (packed)
+        self.pstate = [bytearray(nblocks) for _ in range(ncores)]
+        self.wmask = [[0] * nblocks for _ in range(ncores)]
+        self.dstate = bytearray(nblocks)
+        self.downer = [-1] * nblocks
+        self.dshare = [0] * nblocks
+        # caches: {set index -> {bid: True}} per core/socket, created lazily
+        # like SetAssocCache._sets; dict order is LRU order
+        self.l1sets = [{} for _ in range(ncores)]
+        self.l2sets = [{} for _ in range(ncores)]
+        self.llcsets = [{} for _ in range(cfg.num_sockets)]
+        self.regions = RegionTable(capacity=cfg.max_ward_regions)
+        self.rid_map = {}
+        self.page_homes = {}
+        self.messages = Counter()
+
+        # coherence counters (slow path; the access fast path keeps its own
+        # locals and folds them in at the end)
+        self.tot = 0
+        self.l2a = 0
+        self.wacc = 0
+        self.l3a = 0
+        self.dram = 0
+        self.inval = 0
+        self.downg = 0
+        self.wb = 0
+        self.region_adds = 0
+        self.region_removes = 0
+        self.recon = 0
+        self.recon_shared = 0
+        self.recon_true = 0
+
+        # timing constants / topology
+        self.l1_lat = l1_lat = cfg.l1.latency
+        self.l2_lat = cfg.l2.latency
+        self.l3_lat = cfg.l3.latency
+        self.dram_lat = cfg.dram_latency
+        self.intra_lat = cfg.hop_intra_latency
+        self.sock_lat = cfg.cross_socket_latency()
+        self.soc_of_core = tuple(
+            cfg.socket_of_core(c) for c in range(ncores)
+        )
+        self.soc_of_thread = tuple(
+            cfg.socket_of_thread(t) for t in range(nthreads)
+        )
+        core_of = tuple(cfg.core_of_thread(t) for t in range(nthreads))
+
+        # per-thread core model state (CoreModel, transcribed)
+        self.clk = clk = [0] * nthreads
+        self.loads = loads = [0] * nthreads
+        self.stores = stores = [0] * nthreads
+        self.rmws = rmws = [0] * nthreads
+        self.ci = ci = [0] * nthreads
+        self.spins = spins = [0] * nthreads
+        self.lstall = lstall = [0] * nthreads
+        self.sbstall = sbstall = [0] * nthreads
+        sb = [deque() for _ in range(nthreads)]
+        sb_last = [0] * nthreads
+        sb_cap = cfg.store_buffer_entries
+
+        # hot locals
+        kind = self._kind
+        thr = self._thr
+        atype = self._atype
+        spin_f = self._spin
+        aux = self._aux
+        pre_i = self._pre_i
+        pre_c = self._pre_c
+        bid = self._bid
+        rep = self._rep
+        mask_l = self._mask
+        addr = self._addr
+        pstate = self.pstate
+        wmask = self.wmask
+        access = self._access
+        upgrade = self._upgrade
+        l1sets = self.l1sets
+        sidx1 = self.sidx1
+        tot_f = 0
+        wacc_f = 0
+
+        # One flat unpack per event beats re-subscripting the hot columns:
+        # the loop body is the throughput ceiling of the whole replay.
+        for k, t, kd, pi, pc, b, at, rp, mask_k, spin_k in zip(
+            range(len(kind)), thr, kind, pre_i, pre_c, bid, atype, rep,
+            mask_l, spin_f,
+        ):
+            if pi or pc:
+                clk[t] += pi + pc
+                ci[t] += pi
+
+            if kd == K_ACCESS:
+                core = core_of[t]
+                if rp:
+                    # Guaranteed L1-MRU hit (same thread, same block as the
+                    # previous event): serve without touching LRU order.
+                    st = pstate[core][b]
+                    if at == AT_LOAD:
+                        tot_f += 1
+                        if st == _W:
+                            wacc_f += 1
+                        clk[t] += l1_lat
+                        loads[t] += 1
+                        if spin_k:
+                            spins[t] += 1
+                        continue
+                    if st >= _E:
+                        tot_f += 1
+                        if st == _W:
+                            wacc_f += 1
+                        elif st == _E:
+                            pstate[core][b] = _M  # silent E -> M
+                        wmask[core][b] |= mask_k
+                        if at == 1:  # store: TSO buffer issue
+                            buf = sb[t]
+                            ck = clk[t]
+                            while buf and buf[0] <= ck:
+                                buf.popleft()
+                            if len(buf) >= sb_cap:
+                                stall = buf[0] - ck
+                                if stall > 0:
+                                    ck += stall
+                                    sbstall[t] += stall
+                                while buf and buf[0] <= ck:
+                                    buf.popleft()
+                            ck += 1
+                            comp = ck + l1_lat
+                            last = sb_last[t]
+                            if comp < last:
+                                comp = last
+                            sb_last[t] = comp
+                            buf.append(comp)
+                            clk[t] = ck
+                            stores[t] += 1
+                        else:  # RMW: fence + full block
+                            buf = sb[t]
+                            if buf:
+                                last = buf[-1]
+                                if last > clk[t]:
+                                    sbstall[t] += last - clk[t]
+                                    clk[t] = last
+                                buf.clear()
+                            clk[t] += l1_lat
+                            rmws[t] += 1
+                        continue
+                    # S-state write: needs the directory; fall through to
+                    # the full transaction (which re-counts from scratch —
+                    # nothing was counted above on this branch).
+                # Inlined _access L1-hit path (the dominant case): LRU
+                # refresh + state check without a method call.  Anything
+                # past the L1 falls back to the full transcription.
+                cset1 = l1sets[core].get(sidx1[b])
+                if cset1 is not None and b in cset1:
+                    del cset1[b]  # LRU refresh (move to end)
+                    cset1[b] = True
+                    st = pstate[core][b]
+                    if at == AT_LOAD:
+                        tot_f += 1
+                        if st == _W:
+                            wacc_f += 1
+                        latency = l1_lat
+                    elif st >= _E:  # M, E, or W: silent write grant
+                        tot_f += 1
+                        if st == _W:
+                            wacc_f += 1
+                        elif st == _E:
+                            pstate[core][b] = _M
+                        wmask[core][b] |= mask_k
+                        latency = l1_lat
+                    else:  # S-state write: directory upgrade
+                        tot_f += 1
+                        latency = l1_lat + upgrade(core, b, mask_k)
+                else:
+                    latency = access(core, b, at, mask_k, True)
+                if at == AT_LOAD:
+                    clk[t] += latency
+                    loads[t] += 1
+                    if spin_k:
+                        spins[t] += 1
+                    if latency > l1_lat:
+                        lstall[t] += latency - l1_lat
+                elif at == 1:  # store
+                    buf = sb[t]
+                    ck = clk[t]
+                    while buf and buf[0] <= ck:
+                        buf.popleft()
+                    if len(buf) >= sb_cap:
+                        stall = buf[0] - ck
+                        if stall > 0:
+                            ck += stall
+                            sbstall[t] += stall
+                        while buf and buf[0] <= ck:
+                            buf.popleft()
+                    ck += 1
+                    comp = ck + latency
+                    last = sb_last[t]
+                    if comp < last:
+                        comp = last
+                    sb_last[t] = comp
+                    buf.append(comp)
+                    clk[t] = ck
+                    stores[t] += 1
+                else:  # RMW
+                    buf = sb[t]
+                    if buf:
+                        last = buf[-1]
+                        if last > clk[t]:
+                            sbstall[t] += last - clk[t]
+                            clk[t] = last
+                        buf.clear()
+                    clk[t] += latency
+                    rmws[t] += 1
+            elif kd == K_SYNC:
+                a = aux[k]
+                if a > clk[t]:
+                    clk[t] = a
+            elif kd == K_REGION_ADD:
+                self._region_add(addr[k], aux[k])
+            elif kd == K_REGION_REMOVE:
+                self._region_remove(aux[k])
+            elif kd == K_PLACE:
+                self._place(t, addr[k], aux[k])
+            elif kd == K_LLC_WARM:
+                self._llc_fill(b, self._home(b))
+            # K_FLUSH: pendings already applied above
+
+        self.tot += tot_f
+        self.wacc += wacc_f
+        return self._finalize()
+
+    # ------------------------------------------------------------------
+    # Message accounting (Interconnect, transcribed; returns latency)
+    # ------------------------------------------------------------------
+    def _c2h(self, core: int, home: int, mtype) -> int:
+        if self.soc_of_core[core] == home:
+            self.messages[(mtype, "intra")] += 1
+            return self.intra_lat
+        self.messages[(mtype, "socket")] += 1
+        return self.sock_lat
+
+    def _c2c(self, core_a: int, core_b: int, mtype) -> int:
+        if core_a == core_b:
+            self.messages[(mtype, "local")] += 1
+            return 0
+        if self.soc_of_core[core_a] == self.soc_of_core[core_b]:
+            self.messages[(mtype, "intra")] += 1
+            return self.intra_lat
+        self.messages[(mtype, "socket")] += 1
+        return self.sock_lat
+
+    def _home(self, b: int) -> int:
+        home = self.page_homes.get(self.page_of[b])
+        if home is not None:
+            return home
+        return self.interleave[b]
+
+    # ------------------------------------------------------------------
+    # MESIProtocol.access, transcribed over packed state
+    # ------------------------------------------------------------------
+    def _access(
+        self, core: int, b: int, at: int, mask: int, l1_missed: bool = False
+    ) -> int:
+        self.tot += 1
+        latency = self.l1_lat
+        present = False
+        if not l1_missed:
+            cset1 = self.l1sets[core].get(self.sidx1[b])
+            present = cset1 is not None and b in cset1
+            if present:
+                del cset1[b]  # LRU refresh (move to end)
+                cset1[b] = True
+        if not present:
+            latency += self.l2_lat
+            self.l2a += 1
+            cset2 = self.l2sets[core].get(self.sidx2[b])
+            if cset2 is not None and b in cset2:
+                del cset2[b]
+                cset2[b] = True
+                self._l1_install(core, b)
+                present = True
+        if present:
+            st = self.pstate[core][b]
+            if at == AT_LOAD:
+                if st == _W:
+                    self.wacc += 1
+                return latency
+            if st >= _E:  # M, E, or W: silent write grant
+                if st == _W:
+                    self.wacc += 1
+                elif st == _E:
+                    self.pstate[core][b] = _M
+                self.wmask[core][b] |= mask
+                return latency
+            return latency + self._upgrade(core, b, mask)
+        return latency + self._miss(core, b, at, mask)
+
+    def _upgrade(self, core: int, b: int, mask: int) -> int:
+        home = self._home(b)
+        latency = self._c2h(core, home, _UPGRADE)
+        latency += self.l3_lat
+        self.l3a += 1
+        # _handle_upgrade_at_dir (WARDen override first, then MESI).
+        # Region lookups use the block base address, like the object
+        # protocol (the raw access address may cross the region edge).
+        if self.is_warden:
+            if self.dstate[b] == _W or self.regions.contains(self.baddrs[b]):
+                if self.dstate[b] != _W:
+                    self._enter_ward(b)
+                latency += self._h2c(home, core, _DATA_E)
+                self.dshare[b] |= 1 << core
+                self._register_ward(b)
+                self.pstate[core][b] = _W
+                self.wmask[core][b] |= mask
+                self.wacc += 1
+                return latency
+        latency += self._inv_sharers(b, core, home)
+        latency += self._h2c(home, core, _DATA_E)
+        self.dstate[b] = _M
+        self.downer[b] = core
+        self.dshare[b] = 0
+        self.pstate[core][b] = _M
+        self.wmask[core][b] |= mask
+        return latency
+
+    def _h2c(self, home: int, core: int, mtype) -> int:
+        if self.soc_of_core[core] == home:
+            self.messages[(mtype, "intra")] += 1
+            return self.intra_lat
+        self.messages[(mtype, "socket")] += 1
+        return self.sock_lat
+
+    def _inv_sharers(self, b: int, exclude: int, home: int) -> int:
+        """Invalidate every sharer except ``exclude``; worst-case latency.
+
+        Bitmask iteration ascends like the object protocol's
+        ``sorted(entry.sharers)``; the caller resets ``dshare`` afterwards
+        (mirroring ``entry.sharers.clear()`` at both call sites).
+        """
+        worst = 0
+        inval = 0
+        sh = self.dshare[b]
+        core = 0
+        i2 = self.sidx2[b]
+        i1 = self.sidx1[b]
+        while sh:
+            if sh & 1 and core != exclude:
+                lat = self._h2c(home, core, _INV)
+                lat += self._c2h(core, home, _INV_ACK)
+                if lat > worst:
+                    worst = lat
+                inval += 1
+                cset = self.l2sets[core].get(i2)
+                if cset is not None:
+                    cset.pop(b, None)
+                cset = self.l1sets[core].get(i1)
+                if cset is not None:
+                    cset.pop(b, None)
+                self.pstate[core][b] = _I
+            sh >>= 1
+            core += 1
+        self.inval += inval
+        return worst
+
+    def _miss(self, core: int, b: int, at: int, mask: int) -> int:
+        home = self._home(b)
+        latency = self._c2h(core, home, _GET_M if at != AT_LOAD else _GET_S)
+        latency += self.l3_lat
+        latency += self._at_dir(core, b, at, mask, home)
+        return latency
+
+    def _at_dir(self, core: int, b: int, at: int, mask: int, home: int) -> int:
+        if self.is_warden:
+            if self.dstate[b] == _W:
+                return self._ward_grant(core, b, mask, home)
+            if self.regions and self.regions.contains(self.baddrs[b]):
+                self._enter_ward(b)
+                return self._ward_grant(core, b, mask, home)
+        st = self.dstate[b]
+        if st == _I:
+            latency = self._fetch(b, home)
+            latency += self._h2c(home, core, _DATA_E)
+            if at != AT_LOAD:
+                self._install(core, b, _M, mask)
+                self.dstate[b] = _M
+            else:
+                self._install(core, b, _E, 0)
+                self.dstate[b] = _E
+            self.downer[b] = core
+            self.dshare[b] = 0
+            return latency
+        if st == _S:
+            if at != AT_LOAD:
+                inv_latency = self._inv_sharers(b, core, home)
+                data_latency = self._fetch(b, home)
+                data_latency += self._h2c(home, core, _DATA)
+                self._install(core, b, _M, mask)
+                self.dstate[b] = _M
+                self.downer[b] = core
+                self.dshare[b] = 0
+                return (
+                    inv_latency if inv_latency > data_latency else data_latency
+                )
+            latency = self._fetch(b, home)
+            latency += self._h2c(home, core, _DATA)
+            self._install(core, b, _S, 0)
+            self.dshare[b] |= 1 << core
+            return latency
+        # E or M: forward to the owner
+        return self._forward(core, b, at, mask, home)
+
+    def _forward(self, core: int, b: int, at: int, mask: int, home: int) -> int:
+        owner = self.downer[b]
+        if at != AT_LOAD:
+            # Fwd-GetM: invalidate the owner, transfer ownership.
+            latency = self._h2c(home, owner, _FWD_GET_M)
+            latency += self._c2c(owner, core, _DATA)
+            self.inval += 1
+            cset = self.l2sets[owner].get(self.sidx2[b])
+            if cset is not None:
+                cset.pop(b, None)
+            cset = self.l1sets[owner].get(self.sidx1[b])
+            if cset is not None:
+                cset.pop(b, None)
+            self.pstate[owner][b] = _I
+            self._install(core, b, _M, mask)
+            self.dstate[b] = _M
+            self.downer[b] = core
+            self.dshare[b] = 0
+            return latency
+        # Fwd-GetS: downgrade the owner to S, write back if dirty.
+        latency = self._h2c(home, owner, _FWD_GET_S)
+        latency += self._c2c(owner, core, _DATA)
+        self.downg += 1
+        if self.pstate[owner][b] == _M:
+            self._c2h(owner, home, _WB_DATA)
+            self.wb += 1
+            self._llc_fill(b, home)
+        self.pstate[owner][b] = _S
+        self.wmask[owner][b] = 0
+        self._install(core, b, _S, 0)
+        self.dstate[b] = _S
+        self.dshare[b] = (1 << owner) | (1 << core)
+        self.downer[b] = -1
+        return latency
+
+    # ------------------------------------------------------------------
+    # Private-cache install/evict (SetAssocCache + _evict_private)
+    # ------------------------------------------------------------------
+    def _l1_install(self, core: int, b: int) -> None:
+        sets = self.l1sets[core]
+        idx = self.sidx1[b]
+        cset = sets.get(idx)
+        if cset is None:
+            sets[idx] = {b: True}
+            return
+        if b in cset:
+            del cset[b]
+            cset[b] = True
+            return
+        assoc = self.l1_assoc
+        while len(cset) >= assoc:
+            del cset[next(iter(cset))]  # silent: block stays valid in L2
+        cset[b] = True
+
+    def _install(self, core: int, b: int, state: int, mask: int) -> None:
+        """``_install_private``: L2 install (with victim eviction), written
+        mask reset, L1 fill.  The mask reset is load-bearing: invalidation
+        paths leave stale masks behind in the flat arrays (the object model
+        simply discards the CacheBlock), so install must clobber them."""
+        sets = self.l2sets[core]
+        idx = self.sidx2[b]
+        cset = sets.get(idx)
+        if cset is None:
+            cset = sets[idx] = {}
+        if b in cset:
+            del cset[b]
+            cset[b] = True
+        else:
+            assoc = self.l2_assoc
+            while len(cset) >= assoc:
+                victim = next(iter(cset))
+                del cset[victim]
+                self._evict(core, victim)
+            cset[b] = True
+        self.pstate[core][b] = state
+        self.wmask[core][b] = mask
+        self._l1_install(core, b)
+
+    def _evict(self, core: int, v: int) -> None:
+        """``_evict_private``: ``v`` already left the L2 set (popitem before
+        hook, like SetAssocCache._make_room)."""
+        cset = self.l1sets[core].get(self.sidx1[v])
+        if cset is not None:
+            cset.pop(v, None)
+        st = self.pstate[core][v]
+        home = self._home(v)
+        if st == _W:
+            # _flush_ward_copy: pre-pay reconciliation (§5.3)
+            if self.wmask[core][v]:
+                self._c2h(core, home, _WB_DATA)
+                self.wb += 1
+                self._llc_fill(v, home)
+            else:
+                self._c2h(core, home, _PUT_M)
+            self.dshare[v] &= ~(1 << core)
+            self.pstate[core][v] = _I
+            self.wmask[core][v] = 0
+            return
+        if st >= _E:  # M or E
+            self._c2h(core, home, _PUT_M)
+            if st == _M:
+                self.wb += 1
+                self._llc_fill(v, home)
+            self.dstate[v] = _I
+            self.downer[v] = -1
+            self.dshare[v] = 0
+        elif st == _S:
+            self._c2h(core, home, _PUT_M)
+            self.dshare[v] &= ~(1 << core)
+            if not self.dshare[v]:
+                self.dstate[v] = _I
+        self.pstate[core][v] = _I
+
+    # ------------------------------------------------------------------
+    # LLC / DRAM
+    # ------------------------------------------------------------------
+    def _llc_fill(self, b: int, home: int) -> None:
+        sets = self.llcsets[home]
+        idx = self.sidxL[b]
+        cset = sets.get(idx)
+        if cset is None:
+            sets[idx] = {b: True}
+            return
+        if b in cset:
+            del cset[b]
+            cset[b] = True
+            return
+        assoc = self.llc_assoc
+        while len(cset) >= assoc:
+            del cset[next(iter(cset))]
+        cset[b] = True
+
+    def _fetch(self, b: int, home: int) -> int:
+        """``_fetch_data_at_home``: LLC hit is free (the l3 latency was
+        charged by the caller), miss goes to DRAM and fills the slice."""
+        self.l3a += 1
+        cset = self.llcsets[home].get(self.sidxL[b])
+        if cset is not None and b in cset:
+            del cset[b]
+            cset[b] = True
+            return 0
+        self.dram += 1
+        self.messages[(_DATA, "memory")] += 1
+        self._llc_fill(b, home)
+        return self.dram_lat
+
+    # ------------------------------------------------------------------
+    # WARDen extensions
+    # ------------------------------------------------------------------
+    def _ward_grant(self, core: int, b: int, mask: int, home: int) -> int:
+        latency = self._fetch(b, home)
+        latency += self._h2c(home, core, _DATA_E)
+        self.dshare[b] |= 1 << core
+        self._register_ward(b)
+        self._install(core, b, _W, mask)
+        self.wacc += 1
+        return latency
+
+    def _enter_ward(self, b: int) -> None:
+        owner = self.downer[b]
+        if owner >= 0:
+            self.dshare[b] |= 1 << owner
+            cset = self.l2sets[owner].get(self.sidx2[b])
+            if cset is not None and b in cset:
+                self.pstate[owner][b] = _W
+        self.downer[b] = -1
+        self.dstate[b] = _W
+        self._register_ward(b)
+
+    def _register_ward(self, b: int) -> None:
+        for region in self.regions.regions_containing(self.baddrs[b]):
+            region.blocks.add(b)
+
+    def _region_add(self, start: int, end: int) -> None:
+        region = self.regions.add(start, end)
+        if region is not None:
+            self.region_adds += 1
+            self.messages[(_REGION_ADD_MSG, "intra")] += 1
+            self.rid_map[region.region_id] = region
+
+    def _region_remove(self, rid: int) -> None:
+        region = self.rid_map.pop(rid, None)
+        if region is None:
+            return
+        self.regions.remove(region)
+        self.region_removes += 1
+        self.messages[(_REGION_REMOVE_MSG, "intra")] += 1
+        contains = self.regions.contains
+        baddrs = self.baddrs
+        dstate = self.dstate
+        for b in sorted(region.blocks):
+            if dstate[b] != _W:
+                continue  # already evicted/reconciled
+            if contains(baddrs[b]):
+                continue  # still covered by an overlapping region
+            self._reconcile(b)
+
+    def _reconcile(self, b: int) -> None:
+        home = self._home(b)
+        i2 = self.sidx2[b]
+        copies = []
+        sh = self.dshare[b]
+        core = 0
+        while sh:  # ascending, like sorted(entry.sharers)
+            if sh & 1:
+                cset = self.l2sets[core].get(i2)
+                if cset is not None and b in cset:
+                    copies.append(core)
+            sh >>= 1
+            core += 1
+        self.recon += 1
+        wmask = self.wmask
+        union_mask, true_sharing, keep_flags = reconcile_plan(
+            [wmask[c][b] for c in copies]
+        )
+        keep = 0
+        for c, current in zip(copies, keep_flags):
+            if wmask[c][b]:
+                self._c2h(c, home, _RECONCILE)
+                self.wb += 1
+                wmask[c][b] = 0
+            if current:
+                self.pstate[c][b] = _S
+                keep |= 1 << c
+            else:
+                self.pstate[c][b] = _I
+                cset = self.l2sets[c].get(i2)
+                if cset is not None:
+                    cset.pop(b, None)
+                cset = self.l1sets[c].get(self.sidx1[b])
+                if cset is not None:
+                    cset.pop(b, None)
+        if union_mask:
+            self._llc_fill(b, home)
+        if len(copies) > 1:
+            self.recon_shared += 1
+            if true_sharing:
+                self.recon_true += 1
+        self.downer[b] = -1
+        self.dshare[b] = keep
+        self.dstate[b] = _S if keep else _I
+
+    # ------------------------------------------------------------------
+    def _place(self, thread: int, a: int, size: int) -> None:
+        socket = self.soc_of_thread[thread]
+        first = a >> _PAGE_SHIFT
+        last = (a + (size if size > 1 else 1) - 1) >> _PAGE_SHIFT
+        homes = self.page_homes
+        for page in range(first, last + 1):
+            if page not in homes:
+                homes[page] = socket
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> RunStats:
+        meta = self.trace.meta
+        cfg = self.config
+        stats = RunStats(
+            benchmark=meta.get("benchmark", ""),
+            protocol=meta.get("protocol_name", ""),
+            machine=cfg.name,
+            num_threads=cfg.num_threads,
+        )
+        coh = stats.coherence
+        coh.messages = self.messages
+        coh.invalidations = self.inval
+        coh.downgrades = self.downg
+        coh.dram_accesses = self.dram
+        coh.l3_accesses = self.l3a
+        # every access performs exactly one L1 lookup, so the recorded
+        # Machine.finalize L1 hits+misses sum equals total_accesses
+        coh.l1_accesses = self.tot
+        coh.l2_accesses = self.l2a
+        coh.ward_accesses = self.wacc
+        coh.total_accesses = self.tot
+        coh.ward_region_adds = self.region_adds
+        coh.ward_region_removes = self.region_removes
+        coh.reconciled_blocks = self.recon
+        coh.reconciled_shared_blocks = self.recon_shared
+        coh.reconciled_true_sharing_blocks = self.recon_true
+        coh.writebacks = self.wb
+
+        cores = CoreStats()
+        cores.loads = sum(self.loads)
+        cores.stores = sum(self.stores)
+        cores.rmws = sum(self.rmws)
+        cores.compute_instrs = sum(self.ci)
+        cores.spin_loads = sum(self.spins)
+        cores.load_stall_cycles = sum(self.lstall)
+        cores.store_buffer_stall_cycles = sum(self.sbstall)
+        for attempts, successes in meta.get("steals", []):
+            cores.steal_attempts += attempts
+            cores.successful_steals += successes
+        stats.cores = cores
+        stats.cycles = self.clk[meta.get("final_thread", 0)]
+        EnergyModel(cfg).compute(stats)
+        return stats
+
+
+def replay_trace(
+    trace: Trace,
+    config: Optional[MachineConfig] = None,
+    obs_sink=None,
+):
+    """Replay a trace through the kernel; returns a ``BenchResult``.
+
+    With ``config=None`` the trace's recorded config is used and the result
+    is bit-identical to the interpreted engine.  Passing a different config
+    produces the trace-driven approximation described in the module doc.
+    """
+    from repro.analysis.run import BenchResult
+
+    meta = trace.meta
+    if obs_sink is not None:
+        obs_sink.emit(ReplayEvent(
+            0, "replay-start", meta.get("benchmark", ""),
+            meta.get("protocol_name", ""), events=len(trace),
+        ))
+    kernel = ReplayKernel(trace, config)
+    stats = kernel.run()
+    result = BenchResult(
+        benchmark=meta.get("benchmark", ""),
+        protocol=meta.get("protocol_name", ""),
+        machine=kernel.config.name,
+        size=meta.get("size", "default"),
+        stats=stats,
+        result=decode_result(meta["result"]) if "result" in meta else None,
+        ward_checked=False,
+    )
+    if obs_sink is not None:
+        obs_sink.emit(ReplayEvent(
+            0, "replay-done", result.benchmark, result.protocol,
+            events=len(trace),
+        ))
+    return result

@@ -153,8 +153,14 @@ class Engine:
         #: the worker currently being stepped (used by the runtime to charge
         #: internal work such as region instructions to the right thread)
         self.current_worker: Optional[Worker] = None
-        #: epoch-batched stepping (escape hatch: REPRO_EPOCH_BATCH=0)
-        self.epoch_batch = os.environ.get("REPRO_EPOCH_BATCH", "1") != "0"
+        #: epoch-batched stepping (escape hatch: REPRO_EPOCH_BATCH=0).
+        #: A machine may demand pure per-op stepping (``record_per_op``):
+        #: the trace recorder needs every access to flow through
+        #: ``Machine.access`` so the protocol-visible stream is complete.
+        self.epoch_batch = (
+            os.environ.get("REPRO_EPOCH_BATCH", "1") != "0"
+            and not getattr(machine, "record_per_op", False)
+        )
 
     # ------------------------------------------------------------------
     def pin(self, thread: int, gen, on_done: Optional[Callable] = None) -> Strand:

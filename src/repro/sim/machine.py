@@ -139,6 +139,14 @@ class Machine:
         socket = self.config.socket_of_thread(thread)
         self.protocol.set_page_home(addr, size, socket)
 
+    def llc_warm_fill(self, addr: int, thread: int = 0) -> None:
+        """Warm one block into its home LLC slice without a simulated access.
+
+        Used by input loaders: the data was just written by (unmeasured)
+        input I/O, so the kernel starts LLC-warm.  ``thread`` carries no
+        timing effect; it identifies the issuing thread for recorders."""
+        self.protocol._llc_fill(addr)
+
     # ------------------------------------------------------------------
     # WARD region interface (the Add/Remove Region instructions of §6.1)
     # ------------------------------------------------------------------

@@ -127,3 +127,77 @@ class TestCompareToBaseline:
         ok, msg = compare_to_baseline(report, baseline)
         assert ok
         assert "skipping" in msg
+
+
+class TestFindDefaultBaseline:
+    @staticmethod
+    def _write(tmp_path, name, stamp, mode=None):
+        import json
+
+        report = _report(
+            [_row("fib", "MESI", "small", 1.0, 1000)],
+            meta={"python": "3.11.0", "timestamp": stamp},
+        )
+        if mode is not None:
+            report["mode"] = mode
+        (tmp_path / name).write_text(json.dumps(report))
+        return report
+
+    def test_picks_newest_by_timestamp(self, tmp_path):
+        from repro.analysis.bench import find_default_baseline
+
+        self._write(tmp_path, "BENCH_old.json", "2026-01-01T00:00:00Z")
+        self._write(tmp_path, "BENCH_new.json", "2026-06-01T00:00:00Z")
+        path, report = find_default_baseline(tmp_path)
+        assert path is not None and path.name == "BENCH_new.json"
+        assert report["meta"]["timestamp"] == "2026-06-01T00:00:00Z"
+
+    def test_filters_by_mode_and_excludes_out_path(self, tmp_path):
+        from repro.analysis.bench import find_default_baseline
+
+        self._write(tmp_path, "BENCH_sim.json", "2026-01-01T00:00:00Z")
+        self._write(
+            tmp_path, "BENCH_replay.json", "2026-06-01T00:00:00Z",
+            mode="replay",
+        )
+        path, _ = find_default_baseline(tmp_path, mode="sim")
+        assert path.name == "BENCH_sim.json"  # replay report is newer but skipped
+        path, _ = find_default_baseline(tmp_path, mode="replay")
+        assert path.name == "BENCH_replay.json"
+        # the report being written never compares against itself
+        path, report = find_default_baseline(
+            tmp_path, mode="replay", exclude=tmp_path / "BENCH_replay.json"
+        )
+        assert path is None and report is None
+
+    def test_empty_directory(self, tmp_path):
+        from repro.analysis.bench import find_default_baseline
+
+        assert find_default_baseline(tmp_path) == (None, None)
+
+
+def test_replay_mode_suite_is_bit_identical_and_tagged(tmp_path, monkeypatch):
+    """End-to-end: a replay-mode bench run produces the same simulated work
+    (instructions/cycles) as the sim-mode rows it mirrors, and tags itself."""
+    from repro.analysis.bench import render_report, run_bench_suite
+    from repro.analysis.pool import DEFAULT_CACHE_DIR
+    from repro.common.config import dual_socket
+    import repro.analysis.bench as bench_mod
+
+    # point the trace store at tmp (keep the repo cache dir clean)
+    from repro.replay import TraceStore
+
+    orig = TraceStore.__init__
+
+    def patched(self, root=None):
+        orig(self, root if root is not None else tmp_path)
+
+    monkeypatch.setattr(TraceStore, "__init__", patched)
+    monkeypatch.setattr(bench_mod, "QUICK_SUITE", [("fib", "test")])
+    sim = run_bench_suite(quick=True, mode="sim")
+    replay = run_bench_suite(quick=True, mode="replay")
+    assert replay["mode"] == "replay" and sim["mode"] == "sim"
+    assert "[replay]" in render_report(replay)
+    for sim_row, replay_row in zip(sim["runs"], replay["runs"]):
+        assert sim_row["instructions"] == replay_row["instructions"]
+        assert sim_row["cycles"] == replay_row["cycles"]
