@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""CI gate: every registered protocol table must validate clean.
+
+Runs :meth:`ProtocolSpec.validate` for each protocol in the registry
+against its implementing class — a row naming a handler that no longer
+exists, a missing/duplicate (state, event) cell, an unknown state/event,
+or a state unreachable from the initial one fails the build.  Also
+re-derives each class's compiled fast-path sets from the spec and checks
+they match what is installed (a drifted table would silently change hot
+path dispatch).
+
+Usage: PYTHONPATH=src python scripts/protocol_lint.py [key ...]
+       (no args = lint every registered protocol)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def lint(key: str) -> int:
+    from repro.coherence.registry import protocol_class, protocol_spec
+
+    cls = protocol_class(key)
+    spec = protocol_spec(key)
+    issues = spec.validate(cls)
+    for issue in issues:
+        print(f"  {key}: {issue}")
+    fast = spec.compile()
+    for attr, want in (
+        ("_silent_write", fast.silent_write),
+        ("_silent_next", fast.silent_next),
+        ("_upgrade_states", fast.upgrade_states),
+        ("_ward_states", fast.ward_states),
+    ):
+        got = getattr(cls, attr, None)
+        if got != want:
+            print(f"  {key}: [stale-fast-path] {cls.__name__}.{attr} "
+                  f"= {got!r} but the spec compiles to {want!r}")
+            issues.append(attr)
+    rows = sum(len(t.rows) for t in spec.tables)
+    status = "FAIL" if issues else "ok"
+    print(f"{status}: {key} ({spec.name}) — {len(spec.states)} states, "
+          f"{rows} rows, {len(issues)} issue(s)")
+    return len(issues)
+
+
+def main(argv) -> int:
+    from repro.coherence.registry import available_protocols
+
+    keys = argv or available_protocols()
+    problems = sum(lint(key) for key in keys)
+    if problems:
+        print(f"protocol-lint: {problems} issue(s) found", file=sys.stderr)
+        return 1
+    print(f"protocol-lint: {len(keys)} protocol table(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Regenerate the golden RunStats-digest corpus (tests/golden/).
 
-Runs every benchmark under both protocols at the pinned configuration
+Runs every benchmark under every registered protocol at the pinned
+configuration
 (dual-socket machine, "test" size, seed 42) and records a sha256 digest of
 each run's canonical ``RunStats.to_dict()`` JSON, plus the headline cycle
 and instruction counts for human-readable diffs.  ``tests/test_golden_stats.py``
@@ -33,7 +34,12 @@ GOLDEN_PATH = os.path.join(
 SCHEMA = "warden-repro/golden/v1"
 SIZE = "test"
 SEED = 42
-PROTOCOLS = ("mesi", "warden")
+
+
+def protocols() -> tuple:
+    from repro.coherence.registry import available_protocols
+
+    return tuple(available_protocols())
 
 
 def build_corpus() -> dict:
@@ -45,7 +51,7 @@ def build_corpus() -> dict:
     config = dual_socket()
     entries = {}
     for name in PAPER_ORDER:
-        for protocol in PROTOCOLS:
+        for protocol in protocols():
             result = run_benchmark(
                 name, protocol, config, size=SIZE, seed=SEED,
                 use_disk_cache=False,

@@ -1,29 +1,34 @@
-"""Differential conformance: MESI vs WARDen vs the value-level oracle.
+"""Differential conformance: baseline vs candidate vs the value-level oracle.
 
 Turns the paper's central safety claim — WARDen's relaxed ``W`` state can
 never change program outcomes for WARD-compliant programs (§3–§5) — into a
-machine-checked property over the benchmark suite.  For each benchmark the
-harness runs three legs:
+machine-checked property over the benchmark suite, generalized to any
+(baseline, candidate) pair of registered protocols (default MESI vs
+WARDen).  For each benchmark the harness runs three legs:
 
-1. **Differential** — the benchmark under MESI and under WARDen (cacheable
-   through the PR 2 pool/cache machinery, so full sweeps are cheap and
-   resumable) with final results compared and stats invariants asserted:
+1. **Differential** — the benchmark under the baseline and under the
+   candidate protocol (cacheable through the PR 2 pool/cache machinery,
+   so full sweeps are cheap and resumable) with final results compared
+   and stats invariants asserted:
 
    * identical results (both also equal the Python reference, checked
      inside :func:`~repro.analysis.run.run_benchmark`);
    * identical compute-instruction counts modulo region instructions:
-     ``warden.compute - mesi.compute == region_adds + region_removes``
-     (the only extra instructions WARDen executes are the two per-region
-     bookkeeping instructions, §4.2 — load/store counts differ by
-     scheduler steal/spin noise and are deliberately not compared);
-   * MESI reports zero WARD activity;
+     ``cand.compute - base.compute == Δ(region_adds + region_removes)``
+     (the only extra instructions a region-aware protocol executes are
+     the two per-region bookkeeping instructions, §4.2 — load/store
+     counts differ by scheduler steal/spin noise and are deliberately not
+     compared);
+   * any leg whose protocol has ``supports_ward = False`` reports zero
+     WARD activity;
    * ``region_adds >= region_removes`` (regions still marked when the run
      ends — e.g. pages the root allocated after its last fork — are never
      removed) and WARD coverage within [0, 1];
-   * coherence events (invalidations + downgrades) under WARDen do not
-     exceed MESI beyond a small noise slack: at tiny sizes steal timing
-     can shift a handful of events either way, while the paper-scale
-     reductions dwarf the slack.
+   * when the candidate claims ``avoids_invalidations`` and the baseline
+     does not, coherence events (invalidations + downgrades) under the
+     candidate do not exceed the baseline beyond a small noise slack: at
+     tiny sizes steal timing can shift a handful of events either way,
+     while the paper-scale reductions dwarf the slack.
 
 2. **Race detection** — one uncached run with the happens-before
    :class:`~repro.verify.race.RaceDetector` and the hardware-thread
@@ -55,6 +60,7 @@ from repro.verify.race import RaceDetector, RegionLog
 from repro.verify.coherence_checker import WardMemoryModel
 from repro.analysis.pool import RunTask
 from repro.analysis.run import prefetch, run_benchmark
+from repro.coherence.registry import protocol_class
 
 SCHEMA = "warden-repro/verify/v1"
 
@@ -62,15 +68,15 @@ SCHEMA = "warden-repro/verify/v1"
 ORACLE_MERGE_ORDERS = 3
 
 
-def _invdg_slack(mesi_events: int) -> int:
-    """Tolerated coherence-event excess of WARDen over MESI.
+def _invdg_slack(baseline_events: int) -> int:
+    """Tolerated coherence-event excess of the candidate over the baseline.
 
     Steal timing differs between the protocols (runs are different
     lengths), so a few events of noise either way is expected at test
-    sizes; at paper sizes the WARDen reduction is orders of magnitude
-    larger than this slack.
+    sizes; at paper sizes the WARDen/SI-SD reduction is orders of
+    magnitude larger than this slack.
     """
-    return max(16, mesi_events // 20)
+    return max(16, baseline_events // 20)
 
 
 # ----------------------------------------------------------------------
@@ -85,7 +91,8 @@ class ConformanceResult:
     size: str
     machine: str
     seed: int
-    protocol: str  #: protocol the detector/oracle leg executed under
+    protocol: str  #: candidate protocol (detector/oracle leg runs under it)
+    baseline: str = "mesi"  #: reference protocol of the differential leg
     passed: bool = True
     failures: List[str] = field(default_factory=list)
     races: int = 0
@@ -105,6 +112,7 @@ class ConformanceResult:
             "machine": self.machine,
             "seed": self.seed,
             "protocol": self.protocol,
+            "baseline": self.baseline,
             "passed": self.passed,
             "failures": list(self.failures),
             "races": self.races,
@@ -122,6 +130,7 @@ class ConformanceResult:
             machine=data["machine"],
             seed=data["seed"],
             protocol=data.get("protocol", "warden"),
+            baseline=data.get("baseline", "mesi"),
             passed=data["passed"],
             failures=list(data.get("failures", [])),
             races=data.get("races", 0),
@@ -275,51 +284,79 @@ def verify_benchmark(
     seed: int = 42,
     policy: MarkingPolicy = MarkingPolicy.FULL,
     protocol: str = "warden",
+    baseline: str = "mesi",
     check_oracle: bool = True,
     obs_sink=None,
 ) -> ConformanceResult:
-    """Run all three conformance legs for one benchmark."""
+    """Run all three conformance legs for one benchmark.
+
+    ``protocol`` is the candidate under test; ``baseline`` the reference
+    it is diffed against (leg 1).  Both must be registered protocol keys.
+    """
+    base_cls = protocol_class(baseline)
+    cand_cls = protocol_class(protocol)
     out = ConformanceResult(
         benchmark=name,
         size=size,
         machine=config.name,
         seed=seed,
         protocol=protocol,
+        baseline=baseline,
     )
 
-    # Leg 1: differential MESI vs WARDen (cache-friendly).
-    mesi = run_benchmark(name, "mesi", config, size=size, seed=seed, policy=policy)
-    warden = run_benchmark(
-        name, "warden", config, size=size, seed=seed, policy=policy
+    # Leg 1: differential baseline vs candidate (cache-friendly).
+    base = run_benchmark(
+        name, baseline, config, size=size, seed=seed, policy=policy
     )
-    out.stats = {"mesi": _stat_extract(mesi), "warden": _stat_extract(warden)}
-    ms, ws = mesi.stats, warden.stats
+    cand = run_benchmark(
+        name, protocol, config, size=size, seed=seed, policy=policy
+    )
+    out.stats = {baseline: _stat_extract(base), protocol: _stat_extract(cand)}
+    bs, cs = base.stats, cand.stats
 
-    if mesi.result != warden.result:
-        out.fail("MESI and WARDen computed different results")
-    adds = ws.coherence.ward_region_adds
-    removes = ws.coherence.ward_region_removes
-    compute_delta = ws.cores.compute_instrs - ms.cores.compute_instrs
-    if compute_delta != adds + removes:
+    if base.result != cand.result:
         out.fail(
-            "compute-instruction identity broken: WARDen executed "
+            f"{base_cls.name} and {cand_cls.name} computed different results"
+        )
+    region_instrs = {
+        key: s.coherence.ward_region_adds + s.coherence.ward_region_removes
+        for key, s in ((baseline, bs), (protocol, cs))
+    }
+    compute_delta = cs.cores.compute_instrs - bs.cores.compute_instrs
+    region_delta = region_instrs[protocol] - region_instrs[baseline]
+    if protocol != baseline and compute_delta != region_delta:
+        out.fail(
+            "compute-instruction identity broken: the candidate executed "
             f"{compute_delta} extra compute instructions but issued "
-            f"{adds} region adds + {removes} removes"
+            f"{region_delta} extra region add/remove instructions"
         )
-    if adds < removes:
-        out.fail(f"region removes ({removes}) exceed adds ({adds})")
-    for field_name in ("ward_accesses", "ward_region_adds", "ward_region_removes"):
-        if getattr(ms.coherence, field_name):
-            out.fail(f"MESI reported nonzero {field_name}")
-    if not 0.0 <= ws.coherence.ward_coverage <= 1.0:
-        out.fail(f"WARD coverage {ws.coherence.ward_coverage} outside [0, 1]")
-    mesi_events = ms.coherence.invalidations + ms.coherence.downgrades
-    warden_events = ws.coherence.invalidations + ws.coherence.downgrades
-    if warden_events > mesi_events + _invdg_slack(mesi_events):
-        out.fail(
-            f"WARDen coherence events ({warden_events}) exceed MESI "
-            f"({mesi_events}) beyond the noise slack"
-        )
+    for key, cls, s in ((baseline, base_cls, bs), (protocol, cand_cls, cs)):
+        adds = s.coherence.ward_region_adds
+        removes = s.coherence.ward_region_removes
+        if cls.supports_ward:
+            if adds < removes:
+                out.fail(
+                    f"{key}: region removes ({removes}) exceed adds ({adds})"
+                )
+            if not 0.0 <= s.coherence.ward_coverage <= 1.0:
+                out.fail(
+                    f"{key}: WARD coverage {s.coherence.ward_coverage} "
+                    "outside [0, 1]"
+                )
+        else:
+            for field_name in (
+                "ward_accesses", "ward_region_adds", "ward_region_removes"
+            ):
+                if getattr(s.coherence, field_name):
+                    out.fail(f"{key} reported nonzero {field_name}")
+    base_events = bs.coherence.invalidations + bs.coherence.downgrades
+    cand_events = cs.coherence.invalidations + cs.coherence.downgrades
+    if cand_cls.avoids_invalidations and not base_cls.avoids_invalidations:
+        if cand_events > base_events + _invdg_slack(base_events):
+            out.fail(
+                f"{cand_cls.name} coherence events ({cand_events}) exceed "
+                f"{base_cls.name} ({base_events}) beyond the noise slack"
+            )
 
     # Legs 2+3: happens-before detection + value-level oracle (uncached).
     detector = RaceDetector(
@@ -336,7 +373,7 @@ def verify_benchmark(
             size=size,
             seed=seed,
             policy=policy,
-            check_ward=True,
+            check_ward=cand_cls.supports_ward,
             race_detector=detector,
             obs_sink=obs_sink,
         )
@@ -369,6 +406,7 @@ def run_verify(
     seed: int = 42,
     policy: MarkingPolicy = MarkingPolicy.FULL,
     protocol: str = "warden",
+    baseline: str = "mesi",
     jobs: int = 1,
     check_oracle: bool = True,
     obs_sink=None,
@@ -398,7 +436,7 @@ def run_verify(
                     policy=policy,
                 )
                 for name in names
-                for proto in ("mesi", "warden")
+                for proto in sorted({baseline, protocol})
             ],
             jobs=jobs,
             timeout=timeout,
@@ -416,6 +454,7 @@ def run_verify(
                 seed=seed,
                 policy=policy,
                 protocol=protocol,
+                baseline=baseline,
                 check_oracle=check_oracle,
                 obs_sink=obs_sink,
             )

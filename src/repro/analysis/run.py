@@ -12,7 +12,7 @@ invalidates every stale entry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench import BENCHMARKS
 from repro.common.config import MachineConfig
@@ -232,11 +232,17 @@ def run_pair(
     size: str = "default",
     seed: int = 42,
     policy: MarkingPolicy = MarkingPolicy.FULL,
-) -> Tuple[BenchResult, BenchResult]:
-    """Run a benchmark under MESI and WARDen on the same machine/input."""
-    mesi = run_benchmark(name, "mesi", config, size=size, seed=seed, policy=policy)
-    warden = run_benchmark(name, "warden", config, size=size, seed=seed, policy=policy)
-    return mesi, warden
+    protocols: Sequence[str] = ("mesi", "warden"),
+) -> Tuple[BenchResult, ...]:
+    """Run a benchmark under each protocol on the same machine/input.
+
+    Defaults to the paper's (MESI, WARDen) pair; any registered protocol
+    keys work (e.g. ``("mesi", "moesi", "sisd", "warden")``).
+    """
+    return tuple(
+        run_benchmark(name, proto, config, size=size, seed=seed, policy=policy)
+        for proto in protocols
+    )
 
 
 def prefetch(
@@ -287,13 +293,14 @@ def run_pairs(
     seeds=FIGURE_SEEDS,
     policy: MarkingPolicy = MarkingPolicy.FULL,
     jobs: int = 1,
+    protocols: Sequence[str] = ("mesi", "warden"),
     *,
     timeout: Optional[float] = None,
     retries: int = 0,
     resume: bool = False,
     report=None,
-) -> List[Tuple[BenchResult, BenchResult]]:
-    """Run MESI/WARDen pairs across several seeds (for figure harnesses).
+) -> List[Tuple[BenchResult, ...]]:
+    """Run protocol tuples across several seeds (for figure harnesses).
 
     With ``jobs > 1`` the (protocol x seed) matrix fans out over a process
     pool (see :mod:`repro.analysis.pool`); results merge deterministically
@@ -317,7 +324,7 @@ def run_pairs(
                 policy=policy,
             )
             for seed in seeds
-            for proto in ("mesi", "warden")
+            for proto in protocols
         ]
         keys = [task_fingerprint(task) for task in tasks]
         todo = [
@@ -337,8 +344,13 @@ def run_pairs(
             for (_, key), result in zip(todo, results):
                 _CACHE[key] = result
         paired = iter(keys)
-        return [(_CACHE[next(paired)], _CACHE[next(paired)]) for _ in seeds]
+        return [
+            tuple(_CACHE[next(paired)] for _ in protocols) for _ in seeds
+        ]
     return [
-        run_pair(name, config, size=size, seed=seed, policy=policy)
+        run_pair(
+            name, config, size=size, seed=seed, policy=policy,
+            protocols=protocols,
+        )
         for seed in seeds
     ]

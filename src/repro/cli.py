@@ -54,6 +54,7 @@ from repro.analysis.tables import (
 )
 from repro.bench import BENCHMARKS, DISAGGREGATED_SUBSET, PAPER_ORDER
 from repro.bench.microbench import run_table1
+from repro.coherence.registry import available_protocols, protocol_class
 from repro.common.config import disaggregated, dual_socket, single_socket
 from repro.energy.cacti import region_cam_area_overhead, sectoring_area_overhead
 from repro.obs.collect import (
@@ -197,7 +198,7 @@ def cmd_run(args) -> int:
         args.protocol,
         config,
         size=args.size,
-        check_ward=args.protocol == "warden",
+        check_ward=protocol_class(args.protocol).supports_ward,
     )
     if args.json:
         print(manifest_json(run_manifest(result, config)))
@@ -223,7 +224,7 @@ def cmd_trace(args) -> int:
         args.protocol,
         config,
         size=args.size,
-        check_ward=args.protocol == "warden",
+        check_ward=protocol_class(args.protocol).supports_ward,
         obs_sink=sink,
     )
     written = write_chrome_trace(
@@ -259,7 +260,7 @@ def cmd_profile(args) -> int:
         args.protocol,
         config,
         size=args.size,
-        check_ward=args.protocol == "warden",
+        check_ward=protocol_class(args.protocol).supports_ward,
         obs_sink=MultiSink(ring, latencies, phases, regions),
     )
     s = result.stats
@@ -433,6 +434,7 @@ def cmd_verify(args) -> int:
             size=args.size,
             seed=args.seed,
             protocol=args.protocol,
+            baseline=args.baseline,
             jobs=args.jobs,
             check_oracle=not args.no_oracle,
             timeout=args.timeout,
@@ -451,8 +453,10 @@ def cmd_verify(args) -> int:
             payload["robustness"] = report.to_dict()
         print(json.dumps(payload, sort_keys=True))
     else:
-        print(f"conformance: {len(names)} benchmark(s), size {args.size}, "
-              f"machine {conformance.machine}, seed {args.seed}")
+        print(f"conformance: {len(names)} benchmark(s), "
+              f"{args.protocol} vs baseline {args.baseline}, "
+              f"size {args.size}, machine {conformance.machine}, "
+              f"seed {args.seed}")
         for r in conformance.results:
             verdict = "PASS" if r.passed else "FAIL"
             print(f"  {r.benchmark:<14} {verdict}  races={r.races} "
@@ -515,7 +519,7 @@ def _add_robust_args(parser) -> None:
 def _add_bench_args(parser, default_protocol: str = "warden") -> None:
     parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
     parser.add_argument("--protocol", default=default_protocol,
-                        choices=("mesi", "warden"))
+                        choices=available_protocols())
     parser.add_argument("--size", default="default",
                         choices=("test", "small", "default"))
     parser.add_argument("--machine", default="dual",
@@ -637,17 +641,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     pv = sub.add_parser(
         "verify",
-        help="differential conformance: MESI vs WARDen vs the value oracle, "
-             "plus happens-before race detection (exit 1 on violation)",
+        help="differential conformance: baseline vs candidate protocol vs "
+             "the value oracle, plus happens-before race detection "
+             "(exit 1 on violation)",
     )
     which = pv.add_mutually_exclusive_group(required=True)
     which.add_argument("--all", action="store_true",
                        help="verify every paper benchmark")
     which.add_argument("--benchmark", choices=sorted(BENCHMARKS),
                        help="verify a single benchmark")
-    pv.add_argument("--protocol", default="warden", choices=("mesi", "warden"),
-                    help="protocol the race-detector/oracle leg runs under; "
-                         "the MESI-vs-WARDen differential always runs both "
+    pv.add_argument("--protocol", default="warden",
+                    choices=available_protocols(),
+                    help="candidate protocol: the race-detector/oracle leg "
+                         "runs under it and the differential leg diffs it "
+                         "against --baseline (default: %(default)s)")
+    pv.add_argument("--baseline", default="mesi",
+                    choices=available_protocols(),
+                    help="reference protocol of the differential leg "
                          "(default: %(default)s)")
     pv.add_argument("--size", default="test",
                     choices=("test", "small", "default"),

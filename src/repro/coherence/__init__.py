@@ -1,15 +1,37 @@
-"""Cache-coherence protocols: the MESI baseline and the WARDen extension."""
+"""Cache-coherence protocols, table-driven: the MESI baseline, the WARDen
+extension, and the MOESI / SI/SD comparison points, all described by
+:class:`~repro.coherence.spec.ProtocolSpec` tables and discovered through
+:mod:`repro.coherence.registry`."""
 
 from repro.coherence.directory import Directory, DirEntry
 from repro.coherence.mesi import MESIProtocol
+from repro.coherence.moesi import MOESIProtocol
 from repro.coherence.regions import RegionTable, WardRegion
+from repro.coherence.registry import (
+    available_protocols,
+    protocol_class,
+    protocol_map,
+    protocol_spec,
+)
+from repro.coherence.sisd import SISDProtocol
+from repro.coherence.spec import ProtocolSpec, Row, SpecIssue, TransitionTable
 from repro.coherence.warden import WARDenProtocol
 
 __all__ = [
     "DirEntry",
     "Directory",
     "MESIProtocol",
+    "MOESIProtocol",
+    "ProtocolSpec",
     "RegionTable",
+    "Row",
+    "SISDProtocol",
+    "SpecIssue",
+    "TransitionTable",
     "WARDenProtocol",
     "WardRegion",
+    "available_protocols",
+    "protocol_class",
+    "protocol_map",
+    "protocol_spec",
 ]

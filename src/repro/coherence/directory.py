@@ -50,6 +50,13 @@ class DirEntry:
                 raise ProtocolError(f"{self} shared without sharers")
             if self.owner is not None:
                 raise ProtocolError(f"{self} shared with an owner")
+        elif self.state is CoherenceState.OWNED:
+            # MOESI: a dirty owner may coexist with clean sharers, but the
+            # owner is tracked separately, never in the sharer set.
+            if self.owner is None:
+                raise ProtocolError(f"{self} owned state without owner")
+            if self.owner in self.sharers:
+                raise ProtocolError(f"{self} owner listed as sharer")
         elif self.state is CoherenceState.INVALID:
             if self.owner is not None or self.sharers:
                 raise ProtocolError(f"{self} invalid but tracked copies exist")

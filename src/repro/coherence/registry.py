@@ -1,0 +1,72 @@
+"""The protocol registry: one place every harness discovers protocols from.
+
+``Machine``, the CLI, the conformance harness, the fuzzer, the golden
+corpus generator, and the replay path all resolve protocol keys here, so
+registering a new protocol (a spec + a class, see
+:mod:`repro.coherence.spec`) plugs it into every verification layer at
+once.
+
+Protocol modules self-register at import via :func:`coherence_protocol`;
+:func:`_ensure_loaded` imports the built-in modules lazily so importing
+this module never creates a cycle with them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.coherence.spec import ProtocolSpec, install_spec
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def coherence_protocol(key: str, spec: ProtocolSpec):
+    """Class decorator: install ``spec``'s compiled fast path and register
+    the class under ``key`` (the CLI/cache-key spelling, e.g. ``"moesi"``)."""
+
+    def wrap(cls: type) -> type:
+        install_spec(cls, spec)
+        _REGISTRY[key] = cls
+        return cls
+
+    return wrap
+
+
+def _ensure_loaded() -> None:
+    # Imports only; each module registers itself via the decorator.
+    from repro.coherence import mesi, moesi, sisd, warden  # noqa: F401
+
+
+def available_protocols() -> List[str]:
+    """Registered protocol keys, in a stable (registration) order."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def protocol_class(key: str) -> Type:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[key.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {key!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def protocol_spec(key: str) -> ProtocolSpec:
+    return protocol_class(key).SPEC
+
+
+def protocol_map() -> Dict[str, type]:
+    """Key -> class mapping (a copy; mutating it registers nothing)."""
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def protocol_key_of(cls_or_name) -> Optional[str]:
+    """Reverse lookup: registry key for a class (or its ``name``)."""
+    _ensure_loaded()
+    for key, cls in _REGISTRY.items():
+        if cls is cls_or_name or cls.name == cls_or_name:
+            return key
+    return None

@@ -1,0 +1,302 @@
+"""Declarative protocol descriptions: (state x event -> guard/actions/next).
+
+A :class:`ProtocolSpec` is the table form of one coherence protocol: its
+state alphabet, its event alphabet(s), and one :class:`Row` per
+(state, event) transition.  The spec serves three purposes:
+
+1. **Documentation that cannot rot.**  The table *is* the protocol: the
+   ``protocol-lint`` CI step runs :meth:`ProtocolSpec.validate` against the
+   implementing class, so a row naming a handler that no longer exists, an
+   unreachable state, or a missing/duplicate (state, event) cell fails CI.
+
+2. **Fast-path compilation.**  :meth:`ProtocolSpec.compile` derives the
+   frozensets the engine's hot paths dispatch on — which states absorb a
+   store silently (``try_fast_access``/epoch-batch safety), which silent
+   store transition applies (E -> M), which states need a directory
+   upgrade, and which states count as WARD coverage.  MESI, WARDen, MOESI,
+   and SI/SD all run the *same* generalized hit path in
+   :class:`~repro.coherence.mesi.MESIProtocol`, parameterized only by
+   these compiled tables.
+
+3. **A uniform shape for new protocols.**  Adding a protocol means writing
+   a spec plus the handler methods its rows name; the registry
+   (:mod:`repro.coherence.registry`) then plugs it into conformance,
+   fuzzing, golden digests, replay, and the figure generators.
+
+Rows use string state/event names (the spec layer is pure data); compile()
+maps states onto :class:`~repro.common.types.CoherenceState` members by
+value, so specs can only name states the simulator actually models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.common.types import CoherenceState
+
+#: action verbs with engine-level meaning; everything else must name a
+#: handler method on the implementing protocol class
+BUILTIN_ACTIONS = frozenset({
+    "silent",      # resolved inside the private cache, no messages
+    "upgrade",     # store on a shared copy: ask the directory for M
+    "miss",        # not cached: full GetS/GetM transaction
+    "stall",       # (documentational) transient; engine models it as latency
+})
+
+#: event names understood by the compiled fast path
+EV_LOAD = "load"
+EV_STORE = "store"
+
+
+@dataclass(frozen=True)
+class Row:
+    """One transition: in ``state``, on ``event`` (when ``guard`` holds),
+    run ``actions`` and move to ``next_state``.
+
+    ``guard`` is a human-readable side condition ("dirty", "in-region",
+    ...).  Two rows for the same (state, event) are nondeterministic
+    unless their guards differ — validate() flags exact duplicates.
+    """
+
+    state: str
+    event: str
+    next_state: str
+    actions: Tuple[str, ...] = ()
+    guard: str = ""
+
+
+@dataclass(frozen=True)
+class TransitionTable:
+    """The rows of one FSA role (``cache`` side or ``directory`` side)."""
+
+    role: str
+    events: Tuple[str, ...]
+    rows: Tuple[Row, ...]
+    #: (state, event) cells that are impossible by construction — the
+    #: author must list them explicitly, so "missing row" keeps meaning
+    #: "forgotten", not "intentionally absent"
+    impossible: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class SpecIssue:
+    """One finding from :meth:`ProtocolSpec.validate`."""
+
+    code: str       # "unreachable-state" | "missing-row" | "duplicate-row"
+                    # | "unknown-state" | "unknown-event" | "unknown-action"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass(frozen=True)
+class FastPath:
+    """The compiled dispatch tables the generalized hit paths run on."""
+
+    #: states whose store hit completes inside the private cache
+    silent_write: FrozenSet[CoherenceState]
+    #: silent store transition (e.g. E -> M); states absent stay put
+    silent_next: Dict[CoherenceState, CoherenceState]
+    #: states whose store hit must ask the directory (Upgrade)
+    upgrade_states: FrozenSet[CoherenceState]
+    #: states counted as WARD coverage on a hit
+    ward_states: FrozenSet[CoherenceState]
+
+
+class ProtocolSpec:
+    """Table-driven description of one coherence protocol."""
+
+    def __init__(
+        self,
+        name: str,
+        states: Tuple[str, ...],
+        tables: Tuple[TransitionTable, ...],
+        initial: str = "I",
+        ward_states: Tuple[str, ...] = (),
+        handlers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self.states = tuple(states)
+        self.tables = tuple(tables)
+        self.initial = initial
+        self.ward_states = tuple(ward_states)
+        #: action verb -> method name on the implementing class
+        self.handlers = dict(handlers or {})
+
+    # ------------------------------------------------------------------
+    def table(self, role: str) -> Optional[TransitionTable]:
+        for t in self.tables:
+            if t.role == role:
+                return t
+        return None
+
+    def lookup(self, role: str, state: str, event: str) -> List[Row]:
+        t = self.table(role)
+        if t is None:
+            return []
+        return [r for r in t.rows if r.state == state and r.event == event]
+
+    # ------------------------------------------------------------------
+    # Static checking (the protocol-lint satellite)
+    # ------------------------------------------------------------------
+    def validate(self, handler_cls: Optional[type] = None) -> List[SpecIssue]:
+        """Return every structural problem in the spec (empty = clean).
+
+        Checks, per table: rows referencing unknown states/events,
+        missing (state, event) cells not declared impossible, and exact
+        duplicate rows (same state/event/guard — nondeterministic).
+        Across tables: states unreachable from ``initial`` via
+        ``next_state`` edges.  With ``handler_cls``, every non-builtin
+        action must resolve (through :attr:`handlers`) to a method.
+        """
+        issues: List[SpecIssue] = []
+        known = set(self.states)
+        if self.initial not in known:
+            issues.append(SpecIssue(
+                "unknown-state", f"initial state {self.initial!r} not in states"
+            ))
+        for ws in self.ward_states:
+            if ws not in known:
+                issues.append(SpecIssue(
+                    "unknown-state", f"ward state {ws!r} not in states"
+                ))
+
+        for t in self.tables:
+            events = set(t.events)
+            seen: Dict[Tuple[str, str, str], int] = {}
+            covered = set()
+            for row in t.rows:
+                if row.state not in known:
+                    issues.append(SpecIssue(
+                        "unknown-state",
+                        f"{t.role}: row references state {row.state!r}",
+                    ))
+                if row.next_state not in known:
+                    issues.append(SpecIssue(
+                        "unknown-state",
+                        f"{t.role}: row {row.state}/{row.event} moves to "
+                        f"unknown state {row.next_state!r}",
+                    ))
+                if row.event not in events:
+                    issues.append(SpecIssue(
+                        "unknown-event",
+                        f"{t.role}: row references event {row.event!r}",
+                    ))
+                key = (row.state, row.event, row.guard)
+                seen[key] = seen.get(key, 0) + 1
+                covered.add((row.state, row.event))
+            for (state, event, guard), n in seen.items():
+                if n > 1:
+                    issues.append(SpecIssue(
+                        "duplicate-row",
+                        f"{t.role}: {n} identical rows for ({state}, {event})"
+                        + (f" guard={guard!r}" if guard else "")
+                        + " — nondeterministic",
+                    ))
+            impossible = set(t.impossible)
+            for state in self.states:
+                for event in t.events:
+                    if (state, event) in covered:
+                        continue
+                    if (state, event) in impossible:
+                        continue
+                    issues.append(SpecIssue(
+                        "missing-row",
+                        f"{t.role}: no row for ({state}, {event}) and the "
+                        "cell is not declared impossible",
+                    ))
+
+        # Reachability over the union of all tables' next_state edges.
+        edges: Dict[str, set] = {s: set() for s in self.states}
+        for t in self.tables:
+            for row in t.rows:
+                if row.state in edges and row.next_state in known:
+                    edges[row.state].add(row.next_state)
+        reached = set()
+        frontier = [self.initial] if self.initial in known else []
+        while frontier:
+            s = frontier.pop()
+            if s in reached:
+                continue
+            reached.add(s)
+            frontier.extend(edges.get(s, ()))
+        for state in self.states:
+            if state not in reached:
+                issues.append(SpecIssue(
+                    "unreachable-state",
+                    f"state {state!r} is unreachable from {self.initial!r}",
+                ))
+
+        if handler_cls is not None:
+            for t in self.tables:
+                for row in t.rows:
+                    for action in row.actions:
+                        if action in BUILTIN_ACTIONS:
+                            continue
+                        method = self.handlers.get(action, action)
+                        if not callable(getattr(handler_cls, method, None)):
+                            issues.append(SpecIssue(
+                                "unknown-action",
+                                f"{t.role}: action {action!r} "
+                                f"({row.state}/{row.event}) has no handler "
+                                f"{handler_cls.__name__}.{method}",
+                            ))
+        return issues
+
+    # ------------------------------------------------------------------
+    # Fast-path compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> FastPath:
+        """Derive the hit-path dispatch tables from the cache-side rows.
+
+        A ``store`` row with the ``silent`` action puts its state in
+        ``silent_write`` (and, when it changes state, in ``silent_next``);
+        a ``store`` row with the ``upgrade`` action puts its state in
+        ``upgrade_states``.  The WARD coverage set comes straight from
+        :attr:`ward_states`.
+        """
+        by_value = {s.value: s for s in CoherenceState}
+        cache = self.table("cache")
+        silent: set = set()
+        upgrade: set = set()
+        nxt: Dict[CoherenceState, CoherenceState] = {}
+        if cache is not None:
+            for row in cache.rows:
+                if row.event != EV_STORE or row.state not in by_value:
+                    continue
+                st = by_value[row.state]
+                if "silent" in row.actions:
+                    silent.add(st)
+                    if row.next_state != row.state and row.next_state in by_value:
+                        nxt[st] = by_value[row.next_state]
+                elif "upgrade" in row.actions:
+                    upgrade.add(st)
+        ward = frozenset(
+            by_value[s] for s in self.ward_states if s in by_value
+        )
+        return FastPath(
+            silent_write=frozenset(silent),
+            silent_next=nxt,
+            upgrade_states=frozenset(upgrade),
+            ward_states=ward,
+        )
+
+
+def install_spec(cls: type, spec: ProtocolSpec) -> type:
+    """Attach a spec's compiled fast-path tables to a protocol class.
+
+    The generalized hit paths in :class:`~repro.coherence.mesi.
+    MESIProtocol` read these class attributes; installing at class-
+    definition time keeps the per-access cost identical to the old
+    hard-coded identity checks (frozenset membership on enum members is
+    one hash of a cached identity hash).
+    """
+    fast = spec.compile()
+    cls.SPEC = spec
+    cls._silent_write = fast.silent_write
+    cls._silent_next = fast.silent_next
+    cls._upgrade_states = fast.upgrade_states
+    cls._ward_states = fast.ward_states
+    return cls

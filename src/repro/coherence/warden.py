@@ -27,8 +27,10 @@ from repro.common.errors import ProtocolError
 from repro.common.stats import CoherenceStats
 from repro.common.types import AccessType, CoherenceState, MessageType, block_range
 from repro.coherence.directory import DirEntry
-from repro.coherence.mesi import MESIProtocol
+from repro.coherence.mesi import _MESI_HANDLERS, MESIProtocol
 from repro.coherence.regions import RegionTable, WardRegion
+from repro.coherence.registry import coherence_protocol
+from repro.coherence.spec import ProtocolSpec, Row, TransitionTable
 from repro.mem.block import CacheBlock
 
 I = CoherenceState.INVALID
@@ -62,6 +64,128 @@ def reconcile_plan(masks):
     return union_mask, true_sharing, keep_flags
 
 
+WARDEN_SPEC = ProtocolSpec(
+    name="WARDen",
+    states=("I", "S", "E", "M", "W"),
+    initial="I",
+    ward_states=("W",),
+    handlers={
+        **_MESI_HANDLERS,
+        "ward_grant": "_ward_grant",
+        "enter_ward": "_enter_ward",
+        "reconcile": "_reconcile_block",
+        "flush": "_flush_ward_copy",
+    },
+    tables=(
+        TransitionTable(
+            role="cache",
+            events=(
+                "load", "store", "Fwd-GetS", "Fwd-GetM", "Inv", "Evict",
+                "Reconcile",
+            ),
+            rows=(
+                # MESI portion: unchanged outside active regions (§5.1).
+                Row("I", "load", "E", ("miss",), guard="directory I"),
+                Row("I", "load", "S", ("miss",), guard="otherwise"),
+                Row("I", "load", "W", ("miss",), guard="in active region"),
+                Row("I", "store", "M", ("miss",)),
+                Row("I", "store", "W", ("miss",), guard="in active region"),
+                Row("S", "load", "S", ("silent",)),
+                Row("S", "store", "M", ("upgrade",)),
+                Row("S", "store", "W", ("upgrade",), guard="in active region"),
+                Row("E", "load", "E", ("silent",)),
+                Row("E", "store", "M", ("silent",)),
+                Row("M", "load", "M", ("silent",)),
+                Row("M", "store", "M", ("silent",)),
+                Row("S", "Inv", "I", ("inv",)),
+                Row("E", "Fwd-GetS", "S", ("fwd",)),
+                Row("M", "Fwd-GetS", "S", ("fwd", "writeback")),
+                Row("E", "Fwd-GetM", "I", ("fwd",)),
+                Row("M", "Fwd-GetM", "I", ("fwd",)),
+                Row("S", "Evict", "I", ("evict",)),
+                Row("E", "Evict", "I", ("evict",)),
+                Row("M", "Evict", "I", ("evict", "writeback")),
+                # WARD portion (Fig. 5): silent local reads and writes;
+                # evictions pre-pay reconciliation (§5.3); region removal
+                # merges written sectors back (§5.2).
+                Row("W", "load", "W", ("silent",)),
+                Row("W", "store", "W", ("silent",)),
+                Row("W", "Evict", "I", ("flush", "writeback"), guard="dirty"),
+                Row("W", "Evict", "I", ("flush",), guard="clean"),
+                Row("W", "Reconcile", "S", ("reconcile",),
+                    guard="copy fully current"),
+                Row("W", "Reconcile", "I", ("reconcile",),
+                    guard="stale copy"),
+            ),
+            impossible=(
+                ("I", "Fwd-GetS"), ("I", "Fwd-GetM"), ("I", "Inv"),
+                ("I", "Evict"), ("E", "Inv"), ("M", "Inv"),
+                ("S", "Fwd-GetS"), ("S", "Fwd-GetM"),
+                # the directory never bothers a W copy until reconciliation
+                ("W", "Fwd-GetS"), ("W", "Fwd-GetM"), ("W", "Inv"),
+                ("I", "Reconcile"), ("S", "Reconcile"),
+                ("E", "Reconcile"), ("M", "Reconcile"),
+            ),
+        ),
+        TransitionTable(
+            role="directory",
+            events=("GetS", "GetM", "Upgrade", "Put", "Region-Remove"),
+            rows=(
+                Row("I", "GetS", "E", ("fetch", "install")),
+                Row("I", "GetM", "M", ("fetch", "install")),
+                Row("S", "GetS", "S", ("fetch", "install")),
+                Row("S", "GetM", "M", ("inv", "fetch", "install")),
+                Row("S", "Upgrade", "M", ("inv",)),
+                Row("E", "GetS", "S", ("fwd",)),
+                Row("M", "GetS", "S", ("fwd", "writeback")),
+                Row("E", "GetM", "M", ("fwd",)),
+                Row("M", "GetM", "M", ("fwd",)),
+                Row("S", "Put", "S", ("evict",), guard="sharers remain"),
+                Row("S", "Put", "I", ("evict",), guard="last sharer"),
+                Row("E", "Put", "I", ("evict",)),
+                Row("M", "Put", "I", ("evict", "writeback")),
+                # Any request on an in-region block enters W first; existing
+                # copies are absorbed rather than invalidated (§5.1).
+                Row("I", "GetS", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("I", "GetM", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("S", "GetS", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("S", "GetM", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("E", "GetS", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("E", "GetM", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("M", "GetS", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("M", "GetM", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                Row("S", "Upgrade", "W", ("enter_ward", "ward_grant"),
+                    guard="in active region"),
+                # W entries approve everything immediately (§5.1).
+                Row("W", "GetS", "W", ("ward_grant",)),
+                Row("W", "GetM", "W", ("ward_grant",)),
+                Row("W", "Upgrade", "W", ("ward_grant",)),
+                Row("W", "Put", "W", ("flush",)),
+                Row("W", "Region-Remove", "S", ("reconcile",),
+                    guard="current copies remain"),
+                Row("W", "Region-Remove", "I", ("reconcile",),
+                    guard="no current copies"),
+            ),
+            impossible=(
+                ("I", "Put"), ("I", "Upgrade"),
+                ("E", "Upgrade"), ("M", "Upgrade"),
+                ("I", "Region-Remove"), ("S", "Region-Remove"),
+                ("E", "Region-Remove"), ("M", "Region-Remove"),
+            ),
+        ),
+    ),
+)
+
+
+@coherence_protocol("warden", WARDEN_SPEC)
 class WARDenProtocol(MESIProtocol):
     """MESI augmented with the WARD state; full MESI behaviour is preserved
     for every address outside an active WARD region (legacy apps run
@@ -78,6 +202,7 @@ class WARDenProtocol(MESIProtocol):
 
     name = "WARDen"
     supports_ward = True
+    avoids_invalidations = True
 
     def __init__(
         self,

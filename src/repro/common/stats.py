@@ -66,6 +66,12 @@ class CoherenceStats:
         #: blocks reconciled where >1 core wrote the same sector (true sharing)
         self.reconciled_true_sharing_blocks = 0
         self.writebacks = 0
+        #: protocol-specific counters (e.g. MOESI dirty shares, SI/SD
+        #: self-invalidations).  Serialized only when nonempty so the
+        #: digests of protocols that never touch it (MESI, WARDen) are
+        #: byte-for-byte what they were before the counter existed; kept
+        #: out of ``messages`` so the energy model never prices them.
+        self.extra: Counter = Counter()
 
     def count_message(
         self, mtype: MessageType, link: str, count: int = 1
@@ -96,6 +102,7 @@ class CoherenceStats:
 
     def merge(self, other: "CoherenceStats") -> None:
         self.messages.update(other.messages)
+        self.extra.update(other.extra)
         for attr in _COHERENCE_COUNTERS:
             setattr(self, attr, getattr(self, attr) + getattr(other, attr))
 
@@ -111,6 +118,8 @@ class CoherenceStats:
                 self.messages.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
             )
         }
+        if self.extra:
+            out["extra"] = {k: self.extra[k] for k in sorted(self.extra)}
         return out
 
     @classmethod
@@ -121,6 +130,7 @@ class CoherenceStats:
         for key, count in data.get("messages", {}).items():
             mtype_name, _, link = key.partition("|")
             stats.messages[(_MESSAGE_TYPES_BY_VALUE[mtype_name], link)] = count
+        stats.extra.update(data.get("extra", {}))
         return stats
 
 

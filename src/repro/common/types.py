@@ -36,13 +36,15 @@ class AccessType(enum.Enum):
 
 
 class CoherenceState(enum.Enum):
-    """MESI states plus the WARD state of the WARDen protocol (Fig. 5)."""
+    """MESI states, the WARD state of the WARDen protocol (Fig. 5), and the
+    Owned state of the MOESI variant (dirty sharing without writeback)."""
 
     MODIFIED = "M"
     EXCLUSIVE = "E"
     SHARED = "S"
     INVALID = "I"
     WARD = "W"
+    OWNED = "O"
 
     __hash__ = object.__hash__  # identity hash; see AccessType
 

@@ -1,8 +1,10 @@
 """The vectorized replay kernel: trace in, bit-identical ``RunStats`` out.
 
 Instead of per-block :class:`CacheBlock` objects, directory-entry objects,
-and a scheduler deciding what runs next, the kernel drives the MESI/WARDen
-state machines directly from a recorded trace over packed arrays:
+and a scheduler deciding what runs next, the kernel drives the registered
+protocols' state machines (MESI, WARDen, MOESI, SI/SD — dispatched on the
+trace's recorded protocol key) directly from a recorded trace over packed
+arrays:
 
 * block addresses are factorized once into dense ids (numpy ``unique``
   when available — see :mod:`repro.replay._compat`), so all per-block
@@ -79,9 +81,12 @@ _RECONCILE = MessageType.RECONCILE
 _REGION_ADD_MSG = MessageType.REGION_ADD
 _REGION_REMOVE_MSG = MessageType.REGION_REMOVE
 
-# coherence state codes in the packed per-(core, block) state arrays;
-# st >= _E <=> the state grants writes silently (M/E/W)
-_I, _S, _E, _M, _W = 0, 1, 2, 3, 4
+# coherence state codes in the packed per-(core, block) state arrays.
+# Ordering is load-bearing: for MESI/WARDen/MOESI, st >= _E <=> the state
+# grants writes silently (M/E/W; O sits below E because an O store must
+# ask the directory); for SI/SD — which never holds E/O — the silent-
+# write threshold drops to _S (every cached state absorbs stores).
+_I, _S, _O, _E, _M, _W = 0, 1, 2, 3, 4, 5
 
 
 
@@ -179,7 +184,19 @@ class ReplayKernel:
         self.config = (
             config if config is not None else config_from_dict(meta["config"])
         )
-        self.is_warden = bool(meta.get("supports_ward"))
+        # dispatch mode from the recorded registry key; traces predating the
+        # key fall back on the supports_ward flag (mesi/warden era)
+        key = meta.get("protocol")
+        if key is None:
+            key = "warden" if meta.get("supports_ward") else "mesi"
+        self.protocol_key = key
+        self.is_warden = key == "warden"
+        self.is_moesi = key == "moesi"
+        self.is_sisd = key == "sisd"
+        # silent-write threshold for the hit paths; the threshold state is
+        # also the source of the one silent transition (E -> M, or S -> M
+        # under SI/SD where stores never consult a directory)
+        self._smin = _S if self.is_sisd else _E
         self._prepare()
 
     # ------------------------------------------------------------------
@@ -277,6 +294,10 @@ class ReplayKernel:
         self.recon = 0
         self.recon_shared = 0
         self.recon_true = 0
+        # protocol-specific extra counters (CoherenceStats.extra)
+        self.x_dirty_shares = 0
+        self.x_self_downgrades = 0
+        self.x_self_invalidations = 0
 
         # timing constants / topology
         self.l1_lat = l1_lat = cfg.l1.latency
@@ -324,6 +345,9 @@ class ReplayKernel:
         upgrade = self._upgrade
         l1sets = self.l1sets
         sidx1 = self.sidx1
+        is_sisd = self.is_sisd
+        smin = self._smin
+        sisd_rmw = self._sisd_rmw
         tot_f = 0
         wacc_f = 0
 
@@ -339,25 +363,44 @@ class ReplayKernel:
 
             if kd == K_ACCESS:
                 core = core_of[t]
+                if at == 2 and is_sisd:
+                    # SI/SD atomics execute at the home slice and never
+                    # leave a cached copy, so the MRU/L1-hit assumptions
+                    # below do not apply; full transaction + RMW fence.
+                    latency = sisd_rmw(core, b)
+                    buf = sb[t]
+                    if buf:
+                        last = buf[-1]
+                        if last > clk[t]:
+                            sbstall[t] += last - clk[t]
+                            clk[t] = last
+                        buf.clear()
+                    clk[t] += latency
+                    rmws[t] += 1
+                    continue
                 if rp:
                     # Guaranteed L1-MRU hit (same thread, same block as the
                     # previous event): serve without touching LRU order.
+                    # (Under SI/SD the guarantee has one hole — an RMW
+                    # self-invalidates its block, so the follow-up access
+                    # sees _I and must take the full path.)
                     st = pstate[core][b]
                     if at == AT_LOAD:
+                        if st or not is_sisd:
+                            tot_f += 1
+                            if st == _W:
+                                wacc_f += 1
+                            clk[t] += l1_lat
+                            loads[t] += 1
+                            if spin_k:
+                                spins[t] += 1
+                            continue
+                    elif st >= smin:
                         tot_f += 1
                         if st == _W:
                             wacc_f += 1
-                        clk[t] += l1_lat
-                        loads[t] += 1
-                        if spin_k:
-                            spins[t] += 1
-                        continue
-                    if st >= _E:
-                        tot_f += 1
-                        if st == _W:
-                            wacc_f += 1
-                        elif st == _E:
-                            pstate[core][b] = _M  # silent E -> M
+                        elif st == smin:
+                            pstate[core][b] = _M  # silent E -> M (S -> M)
                         wmask[core][b] |= mask_k
                         if at == 1:  # store: TSO buffer issue
                             buf = sb[t]
@@ -407,15 +450,15 @@ class ReplayKernel:
                         if st == _W:
                             wacc_f += 1
                         latency = l1_lat
-                    elif st >= _E:  # M, E, or W: silent write grant
+                    elif st >= smin:  # silent write grant
                         tot_f += 1
                         if st == _W:
                             wacc_f += 1
-                        elif st == _E:
+                        elif st == smin:
                             pstate[core][b] = _M
                         wmask[core][b] |= mask_k
                         latency = l1_lat
-                    else:  # S-state write: directory upgrade
+                    else:  # S/O-state write: directory upgrade
                         tot_f += 1
                         latency = l1_lat + upgrade(core, b, mask_k)
                 else:
@@ -532,10 +575,11 @@ class ReplayKernel:
                 if st == _W:
                     self.wacc += 1
                 return latency
-            if st >= _E:  # M, E, or W: silent write grant
+            smin = self._smin
+            if st >= smin:  # silent write grant
                 if st == _W:
                     self.wacc += 1
-                elif st == _E:
+                elif st == smin:
                     self.pstate[core][b] = _M
                 self.wmask[core][b] |= mask
                 return latency
@@ -561,6 +605,33 @@ class ReplayKernel:
                 self.wmask[core][b] |= mask
                 self.wacc += 1
                 return latency
+        if self.is_moesi and self.dstate[b] == _O:
+            # MOESIProtocol._handle_upgrade_at_dir: sharers die; a dirty
+            # owner (unless it is the writer itself) forwards and dies too.
+            lat = self._inv_sharers(b, core, home)
+            owner = self.downer[b]
+            if owner == core:
+                lat += self._h2c(home, core, _DATA_E)
+            else:
+                fwd = self._h2c(home, owner, _FWD_GET_M)
+                fwd += self._c2c(owner, core, _DATA)
+                if fwd > lat:
+                    lat = fwd
+                self.inval += 1
+                cset = self.l2sets[owner].get(self.sidx2[b])
+                if cset is not None:
+                    cset.pop(b, None)
+                cset = self.l1sets[owner].get(self.sidx1[b])
+                if cset is not None:
+                    cset.pop(b, None)
+                self.pstate[owner][b] = _I
+                self.wmask[owner][b] = 0
+            self.dstate[b] = _M
+            self.downer[b] = core
+            self.dshare[b] = 0
+            self.pstate[core][b] = _M
+            self.wmask[core][b] |= mask
+            return latency + lat
         latency += self._inv_sharers(b, core, home)
         latency += self._h2c(home, core, _DATA_E)
         self.dstate[b] = _M
@@ -613,6 +684,20 @@ class ReplayKernel:
         home = self._home(b)
         latency = self._c2h(core, home, _GET_M if at != AT_LOAD else _GET_S)
         latency += self.l3_lat
+        if self.is_sisd:
+            # SISDProtocol._miss: data straight from the home slice, no
+            # directory entry touched; in-region blocks install as W.
+            latency += self._fetch(b, home)
+            latency += self._h2c(home, core, _DATA)
+            if self.regions.contains(self.baddrs[b]):
+                state = _W
+                self.wacc += 1
+            elif at == AT_LOAD:
+                state = _S
+            else:
+                state = _M
+            self._install(core, b, state, mask)
+            return latency
         latency += self._at_dir(core, b, at, mask, home)
         return latency
 
@@ -653,6 +738,34 @@ class ReplayKernel:
             self._install(core, b, _S, 0)
             self.dshare[b] |= 1 << core
             return latency
+        if st == _O:
+            # MOESIProtocol._handle_at_directory: readers are fed c2c by
+            # the dirty owner; a writer invalidates sharers + owner.
+            owner = self.downer[b]
+            if at == AT_LOAD:
+                latency = self._h2c(home, owner, _FWD_GET_S)
+                latency += self._c2c(owner, core, _DATA)
+                self._install(core, b, _S, 0)
+                self.dshare[b] |= 1 << core
+                self.x_dirty_shares += 1
+                return latency
+            inv_latency = self._inv_sharers(b, core, home)
+            latency = self._h2c(home, owner, _FWD_GET_M)
+            latency += self._c2c(owner, core, _DATA)
+            self.inval += 1
+            cset = self.l2sets[owner].get(self.sidx2[b])
+            if cset is not None:
+                cset.pop(b, None)
+            cset = self.l1sets[owner].get(self.sidx1[b])
+            if cset is not None:
+                cset.pop(b, None)
+            self.pstate[owner][b] = _I
+            self.wmask[owner][b] = 0
+            self._install(core, b, _M, mask)
+            self.dstate[b] = _M
+            self.downer[b] = core
+            self.dshare[b] = 0
+            return inv_latency if inv_latency > latency else latency
         # E or M: forward to the owner
         return self._forward(core, b, at, mask, home)
 
@@ -675,7 +788,21 @@ class ReplayKernel:
             self.downer[b] = core
             self.dshare[b] = 0
             return latency
-        # Fwd-GetS: downgrade the owner to S, write back if dirty.
+        # Fwd-GetS: downgrade the owner to S, write back if dirty — except
+        # under MOESI with a directory-M line, where the owner keeps the
+        # dirty data in O instead (MOESIProtocol._forward_to_owner; a
+        # silently-upgraded E line stays on the MESI path, like the object
+        # protocol which dispatches on the directory state).
+        if self.is_moesi and self.dstate[b] == _M:
+            latency = self._h2c(home, owner, _FWD_GET_S)
+            latency += self._c2c(owner, core, _DATA)
+            self.downg += 1
+            self.pstate[owner][b] = _O  # written mask retained
+            self._install(core, b, _S, 0)
+            self.dstate[b] = _O
+            self.dshare[b] |= 1 << core
+            self.x_dirty_shares += 1
+            return latency
         latency = self._h2c(home, owner, _FWD_GET_S)
         latency += self._c2c(owner, core, _DATA)
         self.downg += 1
@@ -742,6 +869,17 @@ class ReplayKernel:
             cset.pop(v, None)
         st = self.pstate[core][v]
         home = self._home(v)
+        if self.is_sisd:
+            # SISDProtocol._evict_private: self-downgrade if dirty, silent
+            # otherwise — there is no directory to keep exact.
+            if self.wmask[core][v]:
+                self._c2h(core, home, _WB_DATA)
+                self.wb += 1
+                self.x_self_downgrades += 1
+                self._llc_fill(v, home)
+                self.wmask[core][v] = 0
+            self.pstate[core][v] = _I
+            return
         if st == _W:
             # _flush_ward_copy: pre-pay reconciliation (§5.3)
             if self.wmask[core][v]:
@@ -762,10 +900,18 @@ class ReplayKernel:
             self.dstate[v] = _I
             self.downer[v] = -1
             self.dshare[v] = 0
+        elif st == _O:
+            # MOESIProtocol._evict_private: the deferred writeback lands.
+            self._c2h(core, home, _PUT_M)
+            self.wb += 1
+            self._llc_fill(v, home)
+            self.downer[v] = -1
+            self.dstate[v] = _S if self.dshare[v] else _I
         elif st == _S:
             self._c2h(core, home, _PUT_M)
             self.dshare[v] &= ~(1 << core)
-            if not self.dshare[v]:
+            # collapse only from dir-S: an S copy can leave an O entry
+            if not self.dshare[v] and self.dstate[v] == _S:
                 self.dstate[v] = _I
         self.pstate[core][v] = _I
 
@@ -803,6 +949,84 @@ class ReplayKernel:
         return self.dram_lat
 
     # ------------------------------------------------------------------
+    # SI/SD extensions (SISDProtocol, transcribed)
+    # ------------------------------------------------------------------
+    def _sisd_self_invalidate(self, core: int, b: int) -> None:
+        """``_self_invalidate``: flush written sectors home, drop the copy."""
+        if self.wmask[core][b]:
+            self._c2h(core, self._home(b), _WB_DATA)
+            self.wb += 1
+            self.x_self_downgrades += 1
+            self._llc_fill(b, self._home(b))
+            self.wmask[core][b] = 0
+        self.x_self_invalidations += 1
+        cset = self.l2sets[core].get(self.sidx2[b])
+        if cset is not None:
+            cset.pop(b, None)
+        cset = self.l1sets[core].get(self.sidx1[b])
+        if cset is not None:
+            cset.pop(b, None)
+        self.pstate[core][b] = _I
+
+    def _sisd_rmw(self, core: int, b: int) -> int:
+        """``_rmw_at_home``: flush any local copy, execute at the home
+        slice, cache nothing."""
+        self.tot += 1
+        latency = self.l1_lat
+        cset1 = self.l1sets[core].get(self.sidx1[b])
+        present = cset1 is not None and b in cset1
+        if present:
+            del cset1[b]  # lookup refreshes LRU before the invalidate
+            cset1[b] = True
+        else:
+            latency += self.l2_lat
+            self.l2a += 1
+            cset2 = self.l2sets[core].get(self.sidx2[b])
+            present = cset2 is not None and b in cset2
+            if present:
+                del cset2[b]
+                cset2[b] = True
+        if present:
+            self._sisd_self_invalidate(core, b)
+        home = self._home(b)
+        latency += self._c2h(core, home, _GET_M)
+        latency += self.l3_lat
+        latency += self._fetch(b, home)
+        latency += self._h2c(home, core, _DATA)
+        return latency
+
+    def _sisd_region_add(self, start: int, end: int) -> None:
+        """Tag already-cached copies in the new region W, like
+        ``SISDProtocol.add_region``."""
+        baddrs = self.baddrs
+        for core in range(len(self.l2sets)):
+            pst = self.pstate[core]
+            for cset in self.l2sets[core].values():
+                for b in cset:
+                    if start <= baddrs[b] < end and pst[b] != _W:
+                        pst[b] = _W
+
+    def _sisd_region_remove(self, region) -> None:
+        """``SISDProtocol.remove_region``: self-invalidate every W copy of
+        the closed region, per core, unless another region still covers
+        it.  Iteration order matches ``SetAssocCache.blocks()`` (set
+        creation order, then LRU order) so LLC fills land identically."""
+        contains = self.regions.contains
+        baddrs = self.baddrs
+        for core in range(len(self.l2sets)):
+            pst = self.pstate[core]
+            doomed = [
+                b
+                for cset in self.l2sets[core].values()
+                for b in cset
+                if pst[b] == _W
+                and region.start <= baddrs[b] < region.end
+                and not contains(baddrs[b])
+            ]
+            for b in doomed:
+                self._sisd_self_invalidate(core, b)
+
+    # ------------------------------------------------------------------
     # WARDen extensions
     # ------------------------------------------------------------------
     def _ward_grant(self, core: int, b: int, mask: int, home: int) -> int:
@@ -835,6 +1059,8 @@ class ReplayKernel:
             self.region_adds += 1
             self.messages[(_REGION_ADD_MSG, "intra")] += 1
             self.rid_map[region.region_id] = region
+            if self.is_sisd:
+                self._sisd_region_add(start, end)
 
     def _region_remove(self, rid: int) -> None:
         region = self.rid_map.pop(rid, None)
@@ -843,6 +1069,9 @@ class ReplayKernel:
         self.regions.remove(region)
         self.region_removes += 1
         self.messages[(_REGION_REMOVE_MSG, "intra")] += 1
+        if self.is_sisd:
+            self._sisd_region_remove(region)
+            return
         contains = self.regions.contains
         baddrs = self.baddrs
         dstate = self.dstate
@@ -936,6 +1165,12 @@ class ReplayKernel:
         coh.reconciled_shared_blocks = self.recon_shared
         coh.reconciled_true_sharing_blocks = self.recon_true
         coh.writebacks = self.wb
+        if self.x_dirty_shares:
+            coh.extra["dirty_shares"] = self.x_dirty_shares
+        if self.x_self_downgrades:
+            coh.extra["self_downgrades"] = self.x_self_downgrades
+        if self.x_self_invalidations:
+            coh.extra["self_invalidations"] = self.x_self_invalidations
 
         cores = CoreStats()
         cores.loads = sum(self.loads)

@@ -8,12 +8,9 @@ from repro.common.config import MachineConfig
 from repro.common.errors import ConfigError
 from repro.common.stats import RunStats
 from repro.common.types import AccessType
-from repro.coherence.mesi import MESIProtocol
-from repro.coherence.warden import WARDenProtocol
+from repro.coherence.registry import protocol_class, protocol_map
 from repro.obs.tracer import Tracer
 from repro.sim.core import CoreModel
-
-PROTOCOLS = {"mesi": MESIProtocol, "warden": WARDenProtocol}
 
 #: Base of the simulated physical address space handed out by sbrk.
 ADDRESS_SPACE_BASE = 0x1_0000
@@ -30,10 +27,11 @@ class Machine:
         self.config = config
         if isinstance(protocol, str):
             try:
-                protocol_cls = PROTOCOLS[protocol.lower()]
+                protocol_cls = protocol_class(protocol)
             except KeyError:
                 raise ConfigError(
-                    f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+                    f"unknown protocol {protocol!r}; "
+                    f"choose from {sorted(protocol_map())}"
                 ) from None
         else:
             protocol_cls = protocol

@@ -255,3 +255,57 @@ class TestVerify:
         assert main(["verify", "--benchmark", "fib", "--size", "test",
                      "--no-oracle"]) == 0
         assert "all benchmarks conform" in capsys.readouterr().out
+
+
+class TestVerifyProtocolZoo:
+    def test_parser_offers_every_registered_protocol(self):
+        from repro.coherence.registry import available_protocols
+
+        for key in available_protocols():
+            args = build_parser().parse_args(
+                ["verify", "--benchmark", "fib", "--protocol", key,
+                 "--baseline", key]
+            )
+            assert args.protocol == key and args.baseline == key
+
+    def test_parser_baseline_defaults_to_mesi(self):
+        args = build_parser().parse_args(["verify", "--all"])
+        assert args.baseline == "mesi" and args.protocol == "warden"
+
+    def test_parser_rejects_unknown_protocol_or_baseline(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify", "--all", "--protocol", "mosi"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify", "--all", "--baseline", "mosi"]
+            )
+
+    @pytest.mark.parametrize("protocol", ("moesi", "sisd"))
+    def test_verify_new_protocols_exit_0(self, protocol, capsys):
+        assert main(
+            ["verify", "--benchmark", "fib", "--size", "test",
+             "--protocol", protocol, "--baseline", "mesi"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"{protocol} vs baseline mesi" in out
+        assert "all benchmarks conform" in out
+
+    def test_verify_json_carries_baseline_and_per_protocol_stats(self, capsys):
+        assert main(
+            ["verify", "--benchmark", "fib", "--size", "test", "--json",
+             "--protocol", "sisd", "--baseline", "warden"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload["results"]
+        assert result["protocol"] == "sisd"
+        assert result["baseline"] == "warden"
+        assert set(result["stats"]) == {"sisd", "warden"}
+
+    def test_run_accepts_zoo_protocols(self, capsys):
+        for protocol in ("moesi", "sisd"):
+            assert main(
+                ["run", "fib", "--size", "test", "--protocol", protocol]
+            ) == 0
+            assert "fib" in capsys.readouterr().out

@@ -110,7 +110,7 @@ class TestInvariantChecks:
         assert "different results" in text
         assert "compute-instruction identity broken" in text
         assert "removes (4) exceed adds (2)" in text
-        assert "MESI reported nonzero ward_accesses" in text
+        assert "mesi reported nonzero ward_accesses" in text
         assert "coverage 1.5 outside [0, 1]" in text
         assert "exceed MESI" in text
 
@@ -141,6 +141,27 @@ class TestRunVerify:
         assert primes.oracle_regions > 0
         assert primes.detector["checked_accesses"] > 0
         assert set(primes.stats) == {"mesi", "warden"}
+
+    def test_any_registered_pair_verifies(self):
+        # The harness is baseline/candidate-generic: every registered
+        # protocol conforms against MESI, and non-MESI baselines work too.
+        from repro.coherence.registry import available_protocols
+
+        for candidate in available_protocols():
+            report = run_verify(
+                ["fib"], tiny_config(), size="test", protocol=candidate,
+                check_oracle=False,
+            )
+            assert report.passed, (candidate, report.results[0].failures)
+            (result,) = report.results
+            assert result.baseline == "mesi"
+            assert set(result.stats) == {"mesi", candidate}
+        report = run_verify(
+            ["fib"], tiny_config(), size="test",
+            protocol="sisd", baseline="warden", check_oracle=False,
+        )
+        assert report.passed, report.results[0].failures
+        assert set(report.results[0].stats) == {"warden", "sisd"}
 
     def test_report_round_trips_through_json_dict(self):
         report = run_verify(["fib"], tiny_config(), size="test")

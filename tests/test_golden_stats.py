@@ -34,12 +34,17 @@ def test_corpus_metadata_is_pinned():
     assert GOLDEN["schema"] == "warden-repro/golden/v1"
     assert GOLDEN["machine"] == dual_socket().name
     assert GOLDEN["size"] == "test" and GOLDEN["seed"] == 42
-    # every benchmark appears under both protocols
-    names = {key.split("/")[0] for key in GOLDEN["entries"]}
+    # every benchmark appears under every registered protocol
     from repro.bench import PAPER_ORDER
+    from repro.coherence.registry import available_protocols
 
-    assert names == set(PAPER_ORDER)
-    assert len(GOLDEN["entries"]) == 2 * len(PAPER_ORDER)
+    cells = {tuple(key.split("/")) for key in GOLDEN["entries"]}
+    expected = {
+        (name, proto)
+        for name in PAPER_ORDER
+        for proto in available_protocols()
+    }
+    assert cells == expected
 
 
 @pytest.mark.parametrize("cell", sorted(GOLDEN["entries"]))

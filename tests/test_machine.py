@@ -21,7 +21,7 @@ class TestConstruction:
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ConfigError):
-            Machine(tiny_config(), "moesi")
+            Machine(tiny_config(), "mosi-does-not-exist")
 
     def test_one_core_model_per_thread(self):
         cfg = tiny_config().replace(threads_per_core=2)

@@ -4,10 +4,12 @@ Three layers of randomized stress, each replayable from its seed:
 
 1. **Machine-level fuzz** — a seeded generator mixes private, shared, and
    ping-pong access patterns with region add/remove interleavings, drives
-   them through both MESI and WARDen, and calls
-   ``protocol.check_invariants()`` after every directory transaction.
-   The tiny test machine's caches force evictions, so WARDen regions are
-   routinely reconciled while partially evicted.
+   them through every registered protocol (MESI, MOESI, SI/SD, WARDen),
+   and calls ``protocol.check_invariants()`` after every directory
+   transaction.  The tiny test machine's caches force evictions, so
+   WARDen regions are routinely reconciled while partially evicted — and
+   MOESI's O state / SI/SD's empty-directory invariants are exercised
+   under the same chaos.
 2. **Value-oracle fuzz** — random WARD-compliant programs through
    :class:`WardMemoryModel` (per-thread incoherent views, arbitrary merge
    order) must match a sequential-memory oracle at every load and in the
@@ -27,6 +29,7 @@ import random
 
 import pytest
 
+from repro.coherence.registry import available_protocols
 from repro.common.types import AccessType
 from repro.hlpl.runtime import Runtime
 from repro.sim.machine import Machine
@@ -124,21 +127,13 @@ def _fuzz_machine(protocol: str, seed: int) -> None:
 
 class TestMachineFuzz:
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_mesi_invariants_under_random_traffic(self, seed):
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_invariants_under_random_traffic(self, protocol, seed):
         run_replayable(
-            f"TestMachineFuzz::test_mesi_invariants_under_random_traffic"
-            f"[{seed}]",
+            f"TestMachineFuzz::test_invariants_under_random_traffic"
+            f"[{protocol}-{seed}]",
             seed,
-            lambda: _fuzz_machine("mesi", seed),
-        )
-
-    @pytest.mark.parametrize("seed", SEEDS)
-    def test_warden_invariants_under_random_traffic(self, seed):
-        run_replayable(
-            f"TestMachineFuzz::test_warden_invariants_under_random_traffic"
-            f"[{seed}]",
-            seed,
-            lambda: _fuzz_machine("warden", seed),
+            lambda: _fuzz_machine(protocol, seed),
         )
 
 
@@ -291,7 +286,7 @@ def _fuzz_runtime(protocol: str, seed: int) -> None:
 
 class TestRuntimeFuzz:
     @pytest.mark.parametrize("seed", SEEDS)
-    @pytest.mark.parametrize("protocol", ("mesi", "warden"))
+    @pytest.mark.parametrize("protocol", available_protocols())
     def test_random_tabulate_reduce_matches_reference(self, protocol, seed):
         run_replayable(
             f"TestRuntimeFuzz::test_random_tabulate_reduce_matches_reference"

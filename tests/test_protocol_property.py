@@ -1,16 +1,29 @@
-"""Property-based protocol tests (hypothesis)."""
+"""Property-based protocol tests (hypothesis), over the whole protocol zoo.
+
+Per-protocol invariants on random traces:
+
+* every registered protocol keeps ``check_invariants()`` clean;
+* the directory protocols (MESI, MOESI) preserve Single-Writer-
+  Multiple-Reader after every store;
+* MOESI's O state always implies a dirty owner copy (owned-implies-dirty);
+* SI/SD never sends an invalidation or downgrade, and a sync point leaves
+  no stale copy behind (the next read must refetch from the home LLC).
+"""
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.coherence.registry import available_protocols
 from repro.common.types import AccessType, CoherenceState
 from repro.sim.machine import Machine
 from tests.conftest import tiny_config
 
 LOAD = AccessType.LOAD
 STORE = AccessType.STORE
+O = CoherenceState.OWNED
 W = CoherenceState.WARD
 
 access_strategy = st.lists(
@@ -25,22 +38,26 @@ access_strategy = st.lists(
 )
 
 
+@pytest.mark.parametrize("protocol", available_protocols())
 @settings(max_examples=40, deadline=None)
 @given(trace=access_strategy)
-def test_mesi_invariants_hold_on_random_traces(trace):
-    m = Machine(tiny_config(), "mesi")
+def test_invariants_hold_on_random_traces(protocol, trace):
+    m = Machine(tiny_config(), protocol)
     base = m.sbrk(64 * 32, 64)
     for thread, block, word, atype in trace:
         m.access(thread, base + block * 64 + word * 8, 8, atype)
     m.protocol.check_invariants()
 
 
+@pytest.mark.parametrize("protocol", ("mesi", "moesi"))
 @settings(max_examples=40, deadline=None)
 @given(trace=access_strategy)
-def test_mesi_swmr_after_every_write(trace):
+def test_swmr_after_every_write(protocol, trace):
     """Single-Writer-Multiple-Reader: after a store, no other core holds a
-    writable copy of that block."""
-    m = Machine(tiny_config(), "mesi")
+    writable copy of that block.  Holds for the directory protocols; SI/SD
+    deliberately gives it up (DRF programs never notice) and WARDen's W
+    state relaxes it inside regions."""
+    m = Machine(tiny_config(), protocol)
     base = m.sbrk(64 * 32, 64)
     for thread, block, word, atype in trace:
         addr = base + block * 64 + word * 8
@@ -53,6 +70,79 @@ def test_mesi_swmr_after_every_write(trace):
                     continue
                 copy = m.protocol.private_block(core, block_addr)
                 assert copy is None or not copy.state.grants_write
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=access_strategy)
+def test_moesi_owned_implies_dirty(trace):
+    """Whenever the directory holds a block in O, the owner's private copy
+    is in O with a nonzero written mask — the whole point of the state is
+    sourcing dirty data to readers without a memory writeback."""
+    m = Machine(tiny_config(), "moesi")
+    base = m.sbrk(64 * 32, 64)
+    for thread, block, word, atype in trace:
+        m.access(thread, base + block * 64 + word * 8, 8, atype)
+        for directory in m.protocol.dirs:
+            for entry in directory.entries():
+                if entry.state is not O:
+                    continue
+                assert entry.owner is not None
+                copy = m.protocol.private_block(entry.owner, entry.addr)
+                assert copy is not None and copy.state is O
+                assert copy.written_mask, (
+                    f"owner copy of {entry.addr:#x} is clean in O state"
+                )
+    m.protocol.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=access_strategy, region_blocks=st.sets(st.integers(0, 31)))
+def test_sisd_never_disturbs_remote_caches(trace, region_blocks):
+    """SI/SD's defining property: zero invalidations, zero downgrades,
+    empty directories — regardless of sharing pattern or region churn."""
+    m = Machine(tiny_config(), "sisd")
+    base = m.sbrk(64 * 32, 64)
+    regions = [
+        m.add_ward_region(0, base + b * 64, base + b * 64 + 64)
+        for b in sorted(region_blocks)
+    ]
+    for thread, block, word, atype in trace:
+        m.access(thread, base + block * 64 + word * 8, 8, atype)
+    for region in regions:
+        m.remove_ward_region(0, region)
+    st0 = m.run_stats.coherence
+    assert st0.invalidations == 0 and st0.downgrades == 0
+    for directory in m.protocol.dirs:
+        assert len(directory) == 0
+    m.protocol.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=access_strategy, region_blocks=st.sets(st.integers(0, 31),
+                                                    min_size=1))
+def test_sisd_no_stale_read_after_self_invalidate(trace, region_blocks):
+    """After the sync point (region removal) no core retains any copy of
+    the region's blocks: a subsequent load cannot observe stale data — it
+    must miss and refetch the reconciled value from the home LLC."""
+    m = Machine(tiny_config(), "sisd")
+    base = m.sbrk(64 * 32, 64)
+    covered = {
+        b: m.add_ward_region(0, base + b * 64, base + b * 64 + 64)
+        for b in sorted(region_blocks)
+    }
+    for thread, block, word, atype in trace:
+        m.access(thread, base + block * 64 + word * 8, 8, atype)
+    for region in covered.values():
+        m.remove_ward_region(0, region)
+    for b in (b for b, region in covered.items() if region is not None):
+        block_addr = base + b * 64
+        for core in range(m.config.num_cores):
+            copy = m.protocol.private_block(core, block_addr)
+            assert copy is None, (
+                f"core {core} still caches {block_addr:#x} "
+                f"({copy.state if copy else '?'}) after the sync point"
+            )
+    m.protocol.check_invariants()
 
 
 @settings(max_examples=40, deadline=None)

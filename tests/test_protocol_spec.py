@@ -1,0 +1,189 @@
+"""Static checking of the protocol tables (the protocol-lint satellite).
+
+Two halves: broken specs must be *detected* (each validator check fires
+on a minimal counterexample), and every registered spec must validate
+clean against its implementing class — the same gate
+``scripts/protocol_lint.py`` runs in CI.
+"""
+
+import pytest
+
+from repro.coherence.registry import (
+    available_protocols,
+    protocol_class,
+    protocol_spec,
+)
+from repro.coherence.spec import (
+    BUILTIN_ACTIONS,
+    ProtocolSpec,
+    Row,
+    TransitionTable,
+)
+from repro.common.types import CoherenceState
+
+
+def tiny_spec(rows, states=("I", "V"), events=("load",), impossible=(),
+              **kwargs):
+    return ProtocolSpec(
+        name="tiny",
+        states=states,
+        tables=(
+            TransitionTable(
+                role="cache", events=events, rows=tuple(rows),
+                impossible=tuple(impossible),
+            ),
+        ),
+        **kwargs,
+    )
+
+
+def codes(spec, handler_cls=None):
+    return {issue.code for issue in spec.validate(handler_cls)}
+
+
+class TestValidatorDetectsBrokenSpecs:
+    def test_clean_tiny_spec_has_no_issues(self):
+        spec = tiny_spec([
+            Row("I", "load", "V", ("miss",)),
+            Row("V", "load", "V", ("silent",)),
+        ])
+        assert spec.validate() == []
+
+    def test_missing_row_detected(self):
+        spec = tiny_spec([Row("I", "load", "V", ("miss",))])
+        assert codes(spec) == {"missing-row"}
+
+    def test_impossible_declaration_silences_missing_row(self):
+        spec = tiny_spec(
+            [Row("I", "load", "V", ("miss",))],
+            impossible=(("V", "load"),),
+        )
+        assert spec.validate() == []
+
+    def test_duplicate_row_detected(self):
+        row = Row("I", "load", "V", ("miss",))
+        spec = tiny_spec([row, row], impossible=(("V", "load"),))
+        assert codes(spec) == {"duplicate-row"}
+
+    def test_guard_disambiguates_rows(self):
+        spec = tiny_spec(
+            [
+                Row("I", "load", "V", ("miss",), guard="warm"),
+                Row("I", "load", "I", ("stall",), guard="cold"),
+                Row("V", "load", "V", ("silent",)),
+            ],
+        )
+        assert spec.validate() == []
+
+    def test_unknown_state_detected(self):
+        spec = tiny_spec(
+            [
+                Row("I", "load", "V", ("miss",), guard="warm"),
+                Row("I", "load", "X", ("miss",), guard="cold"),
+                Row("V", "load", "V", ("silent",)),
+            ],
+        )
+        assert codes(spec) == {"unknown-state"}
+
+    def test_unknown_event_detected(self):
+        spec = tiny_spec(
+            [
+                Row("I", "load", "V", ("miss",)),
+                Row("V", "load", "V", ("silent",)),
+                Row("V", "snoop", "I", ()),
+            ],
+        )
+        assert codes(spec) == {"unknown-event"}
+
+    def test_unknown_initial_and_ward_states_detected(self):
+        spec = tiny_spec(
+            [
+                Row("I", "load", "V", ("miss",)),
+                Row("V", "load", "V", ("silent",)),
+            ],
+            initial="Q",
+            ward_states=("Z",),
+        )
+        assert "unknown-state" in codes(spec)
+
+    def test_unreachable_state_detected(self):
+        spec = tiny_spec(
+            [
+                Row("I", "load", "I", ("stall",)),
+                Row("V", "load", "V", ("silent",)),
+            ],
+        )
+        assert codes(spec) == {"unreachable-state"}
+
+    def test_unknown_action_requires_handler_class(self):
+        spec = tiny_spec(
+            [
+                Row("I", "load", "V", ("summon_data",)),
+                Row("V", "load", "V", ("silent",)),
+            ],
+        )
+        # Without a class the action is just a name; with one it must
+        # resolve (directly or through the handlers map) to a method.
+        assert spec.validate() == []
+        assert codes(spec, handler_cls=object) == {"unknown-action"}
+
+    def test_handlers_map_resolves_actions(self):
+        class Impl:
+            def fetch_it(self):
+                pass
+
+        spec = tiny_spec(
+            [
+                Row("I", "load", "V", ("summon_data",)),
+                Row("V", "load", "V", ("silent",)),
+            ],
+            handlers={"summon_data": "fetch_it"},
+        )
+        assert spec.validate(handler_cls=Impl) == []
+
+
+class TestRegisteredSpecs:
+    @pytest.mark.parametrize("key", available_protocols())
+    def test_spec_validates_clean_against_its_class(self, key):
+        issues = protocol_spec(key).validate(protocol_class(key))
+        assert not issues, "\n".join(str(i) for i in issues)
+
+    @pytest.mark.parametrize("key", available_protocols())
+    def test_class_carries_compiled_fast_path(self, key):
+        cls = protocol_class(key)
+        for attr in ("_silent_write", "_silent_next", "_upgrade_states",
+                     "_ward_states"):
+            assert hasattr(cls, attr), f"{key} missing {attr}"
+        assert cls.SPEC is protocol_spec(key)
+
+    def test_compiled_sets_match_protocol_semantics(self):
+        S = CoherenceState
+        mesi = protocol_class("mesi")
+        assert mesi._silent_write == {S.EXCLUSIVE, S.MODIFIED}
+        assert mesi._silent_next == {S.EXCLUSIVE: S.MODIFIED}
+        assert mesi._upgrade_states == {S.SHARED}
+        assert mesi._ward_states == frozenset()
+
+        moesi = protocol_class("moesi")
+        assert moesi._silent_write == {S.EXCLUSIVE, S.MODIFIED}
+        assert moesi._upgrade_states == {S.OWNED, S.SHARED}
+
+        warden = protocol_class("warden")
+        assert warden._silent_write == {S.EXCLUSIVE, S.MODIFIED, S.WARD}
+        assert warden._ward_states == {S.WARD}
+
+        sisd = protocol_class("sisd")
+        assert sisd._silent_write == {S.SHARED, S.MODIFIED, S.WARD}
+        assert sisd._silent_next == {S.SHARED: S.MODIFIED}
+        assert sisd._upgrade_states == frozenset()
+
+    def test_registry_is_deterministic_and_complete(self):
+        assert available_protocols() == ["mesi", "moesi", "sisd", "warden"]
+        assert protocol_class("WARDen") is protocol_class("warden")
+        with pytest.raises(KeyError):
+            protocol_class("mosi")
+
+    def test_builtin_actions_never_shadow_handlers(self):
+        for key in available_protocols():
+            spec = protocol_spec(key)
+            assert not BUILTIN_ACTIONS & set(spec.handlers)
