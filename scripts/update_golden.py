@@ -42,15 +42,22 @@ def protocols() -> tuple:
     return tuple(available_protocols())
 
 
+def corpus_names() -> list:
+    """The pinned cell rows: paper kernels + golden synthetic workloads."""
+    from repro.bench import PAPER_ORDER
+    from repro.workloads import GOLDEN_SYNTH
+
+    return list(PAPER_ORDER) + list(GOLDEN_SYNTH)
+
+
 def build_corpus() -> dict:
     from repro.analysis.conformance import stats_digest
     from repro.analysis.run import run_benchmark
-    from repro.bench import PAPER_ORDER
     from repro.common.config import dual_socket
 
     config = dual_socket()
     entries = {}
-    for name in PAPER_ORDER:
+    for name in corpus_names():
         for protocol in protocols():
             result = run_benchmark(
                 name, protocol, config, size=SIZE, seed=SEED,

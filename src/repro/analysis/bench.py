@@ -140,6 +140,7 @@ def run_bench_suite(
     resume: bool = False,
     report: Optional[MatrixReport] = None,
     mode: str = "sim",
+    extra_rows: Optional[List[Tuple[str, str]]] = None,
 ) -> Dict:
     """Time the bench suite; return the report dict (see BENCH_SCHEMA).
 
@@ -163,6 +164,11 @@ def run_bench_suite(
     """
     config = config if config is not None else dual_socket()
     suite = QUICK_SUITE if quick else FULL_SUITE
+    if extra_rows:
+        # Caller-appended workload rows (bench --workload): same timing
+        # loop, same two protocols, and part of the suite fingerprint so
+        # --resume never mixes journals across different row sets.
+        suite = suite + list(extra_rows)
     robust = mode == "sim" and (timeout is not None or retries > 0)
     journal: Optional[BenchJournal] = None
     done: Dict[str, Dict] = {}

@@ -135,11 +135,31 @@ class RunTask:
     use_cache: bool = True
 
 
+def _workload_fingerprint(benchmark: str) -> Optional[str]:
+    """Content hash of an external trace file for ``trace:<path>`` names.
+
+    The benchmark *name* of an ingested trace is just a path; two
+    different files at the same path must not share cache entries, and
+    an edited file must invalidate them.  Missing/unreadable files hash
+    as a sentinel — resolution will fail loudly later with a proper
+    diagnostic.
+    """
+    if not benchmark.startswith("trace:"):
+        return None
+    path = benchmark[len("trace:"):]
+    try:
+        with open(path, "rb") as handle:
+            return _sha256(handle.read())
+    except OSError:
+        return "unreadable"
+
+
 def task_fingerprint(task: RunTask, code: Optional[str] = None) -> str:
     """Content-addressed cache key for one simulation run."""
     payload = json.dumps(
         {
             "schema": CACHE_SCHEMA,
+            "workload": _workload_fingerprint(task.benchmark),
             "benchmark": task.benchmark,
             "protocol": task.protocol,
             "size": task.size,

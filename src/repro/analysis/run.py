@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench import BENCHMARKS
+from repro.bench import get_benchmark
 from repro.common.config import MachineConfig
 from repro.common.errors import ReproError
 from repro.common.stats import RunStats
@@ -121,7 +121,7 @@ def run_benchmark(
                 _CACHE[key] = hit
                 return hit
 
-    bench = BENCHMARKS[name]
+    bench = get_benchmark(name)
     workload = bench.workload(size=size, seed=seed)
     machine = Machine(config, protocol)
     if obs_sink is not None:

@@ -68,4 +68,39 @@ DISAGGREGATED_SUBSET = ["dmm", "grep", "nn", "palindrome"]
 
 assert sorted(BENCHMARKS) == sorted(PAPER_ORDER)
 
-__all__ = ["BENCHMARKS", "Benchmark", "DISAGGREGATED_SUBSET", "PAPER_ORDER"]
+
+def get_benchmark(name: str) -> Benchmark:
+    """Resolve any runnable workload name to its :class:`Benchmark`.
+
+    Paper kernels come from ``BENCHMARKS``; registered synthetic
+    workloads (``synth-*``) and external traces (``trace:<path>``)
+    resolve through :mod:`repro.workloads` (imported lazily — the
+    adapter depends on ``repro.bench.common``).  Unknown names raise
+    :class:`~repro.common.errors.ConfigError`.
+    """
+    bench = BENCHMARKS.get(name)
+    if bench is not None:
+        return bench
+    from repro.workloads import resolve_workload
+
+    return resolve_workload(name)
+
+
+def runnable_names():
+    """Every statically-known workload name: paper kernels + synthetics.
+
+    (``trace:<path>`` names are resolvable too but not enumerable.)
+    """
+    from repro.workloads import workload_names
+
+    return sorted(BENCHMARKS) + workload_names()
+
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "DISAGGREGATED_SUBSET",
+    "PAPER_ORDER",
+    "get_benchmark",
+    "runnable_names",
+]

@@ -16,6 +16,9 @@ Usage (after ``pip install -e .``)::
     warden-repro bench --quick --replay     # replay-kernel throughput
     warden-repro record fib --size test     # record a replayable trace
     warden-repro replay fib --size test     # replay it (bit-identical stats)
+    warden-repro ingest ext.trace --matrix  # external text trace, whole zoo
+    warden-repro synth zipf --set skew=2.0  # seeded synthetic service trace
+    warden-repro run --workload synth-ring  # synth/trace: names run anywhere
     warden-repro verify --all [--json]      # race detector + conformance
     warden-repro area                       # §6.1 CACTI estimates
 
@@ -56,6 +59,7 @@ from repro.bench import BENCHMARKS, DISAGGREGATED_SUBSET, PAPER_ORDER
 from repro.bench.microbench import run_table1
 from repro.coherence.registry import available_protocols, protocol_class
 from repro.common.config import disaggregated, dual_socket, single_socket
+from repro.common.errors import ReproError
 from repro.energy.cacti import region_cam_area_overhead, sectoring_area_overhead
 from repro.obs.collect import (
     LatencyHistogram,
@@ -190,11 +194,29 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _pick_workload(args) -> str:
+    """The workload under test: positional name or ``--workload`` (one)."""
+    from repro.common.errors import ConfigError
+
+    workload = getattr(args, "workload", None)
+    if workload and args.benchmark and workload != args.benchmark:
+        raise ConfigError(
+            f"both a positional benchmark ({args.benchmark!r}) and "
+            f"--workload ({workload!r}) given; pass one"
+        )
+    name = workload or args.benchmark
+    if name is None:
+        raise ConfigError(
+            "no workload given: pass a benchmark name or --workload"
+        )
+    return name
+
+
 def cmd_run(args) -> int:
     _configure_disk_cache(args)
     config = _machine_config(args)
     result = run_benchmark(
-        args.benchmark,
+        _pick_workload(args),
         args.protocol,
         config,
         size=args.size,
@@ -288,6 +310,7 @@ def cmd_bench(args) -> int:
         quick=args.quick, repeats=args.repeats,
         timeout=args.timeout, retries=args.retries, resume=args.resume,
         report=matrix_report, mode=mode,
+        extra_rows=[(w, "test") for w in (args.workload or [])],
     )
     if args.profile:
         import cProfile
@@ -391,11 +414,53 @@ def cmd_record(args) -> int:
     return 0
 
 
+def _replay_trace_file(args) -> int:
+    """Replay a raw ``.wtrace`` file (``replay --trace FILE``).
+
+    The protocol comes from the trace meta; an unregistered key is an
+    operational error (exit 2) listing the registered protocols.
+    """
+    from repro.common.errors import ConfigError
+    from repro.replay import replay_trace
+    from repro.replay.trace import Trace
+
+    try:
+        with open(args.trace, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace {args.trace!r}: {exc}") from None
+    import zlib
+
+    try:
+        trace = Trace.from_bytes(blob)
+    except (ValueError, KeyError, EOFError, zlib.error) as exc:
+        raise ConfigError(
+            f"{args.trace!r} is not a valid .wtrace file: {exc}"
+        ) from None
+    result = replay_trace(trace, obs_sink=_ReplayProgress())
+    s = result.stats
+    print(f"trace     : {args.trace} ({len(trace)} events)")
+    print(f"benchmark : {result.benchmark}")
+    print(f"protocol  : {result.protocol}")
+    print(f"machine   : {result.machine}")
+    print(f"cycles    : {s.cycles}")
+    print(f"instrs    : {s.instructions}  (IPC {s.ipc:.4f})")
+    print(f"inv/dg    : {s.coherence.invalidations}/{s.coherence.downgrades}")
+    return 0
+
+
 def cmd_replay(args) -> int:
     """Replay one benchmark through the kernel (recording on first use)."""
     from repro.analysis.run import replay_benchmark
+    from repro.common.errors import ConfigError
     from repro.replay import TraceStore
 
+    if args.trace is not None:
+        return _replay_trace_file(args)
+    if args.benchmark is None:
+        raise ConfigError(
+            "no workload given: pass a benchmark name or --trace FILE"
+        )
     config = _machine_config(args)
     result = replay_benchmark(
         args.benchmark,
@@ -419,13 +484,127 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def _workload_matrix(name: str, config, size: str, seed: int) -> int:
+    """Engine-vs-replay bit-identity for one workload across the zoo.
+
+    Returns 0 when every registered protocol produces bit-identical
+    RunStats on both paths, 1 on any divergence.
+    """
+    from repro.analysis.conformance import stats_digest
+    from repro.replay import record_benchmark, replay_trace
+
+    failures = 0
+    print(f"{'protocol':<10} {'cycles':>10} {'inv':>8} {'dg':>8}  engine=replay")
+    for protocol in available_protocols():
+        engine = run_benchmark(
+            name, protocol, config, size=size, seed=seed,
+            use_cache=False, use_disk_cache=False,
+        )
+        trace, _ = record_benchmark(
+            name, protocol, config, size=size, seed=seed
+        )
+        replayed = replay_trace(trace, config)
+        identical = stats_digest(engine.stats) == stats_digest(replayed.stats)
+        failures += 0 if identical else 1
+        s = engine.stats
+        print(f"{protocol:<10} {s.cycles:>10} {s.coherence.invalidations:>8} "
+              f"{s.coherence.downgrades:>8}  "
+              f"{'ok' if identical else 'DIVERGED'}")
+    if failures:
+        print(f"ingest: {failures} protocol(s) diverged between engine and "
+              "replay", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_ingest(args) -> int:
+    """Parse an external text trace; optionally run it through the zoo."""
+    from repro.workloads import load_trace_file
+
+    trace = load_trace_file(args.trace)
+    loads, stores, rmws = trace.counts()
+    blocks, shared = trace.footprint()
+    print(f"trace     : {args.trace}")
+    print(f"ops       : {len(trace)} ({loads} loads, {stores} stores, "
+          f"{rmws} rmws)")
+    print(f"threads   : {len(trace.threads())}")
+    print(f"footprint : {blocks} blocks ({shared} shared between threads)")
+    print(f"checksum  : {trace.checksum():#x}")
+    if args.matrix:
+        return _workload_matrix(
+            f"trace:{args.trace}", _machine_config(args), "test", args.seed
+        )
+    if args.run:
+        result = run_benchmark(
+            f"trace:{args.trace}", args.protocol, _machine_config(args),
+            size="test", seed=args.seed,
+            use_cache=False, use_disk_cache=False,
+        )
+        s = result.stats
+        print(f"protocol  : {result.protocol}")
+        print(f"cycles    : {s.cycles}")
+        print(f"instrs    : {s.instructions}  (IPC {s.ipc:.4f})")
+        print(f"inv/dg    : {s.coherence.invalidations}/"
+              f"{s.coherence.downgrades}")
+    return 0
+
+
+def _parse_knob(text: str):
+    """One ``--set name=value`` override (int, then float, else error)."""
+    from repro.common.errors import ConfigError
+
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise ConfigError(f"--set expects name=value, got {text!r}")
+    for caster in (int, float):
+        try:
+            return name, caster(value)
+        except ValueError:
+            continue
+    raise ConfigError(f"--set {name}: {value!r} is not a number")
+
+
+def cmd_synth(args) -> int:
+    """Generate a seeded synthetic workload trace; optionally verify it."""
+    from repro.workloads import make_trace
+
+    knobs = dict(_parse_knob(item) for item in args.set or [])
+    trace = make_trace(args.kind, seed=args.seed, ops_per_thread=args.ops,
+                       **knobs)
+    loads, stores, rmws = trace.counts()
+    blocks, shared = trace.footprint()
+    if args.out == "-":
+        sys.stdout.write(trace.to_text())
+        return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(trace.to_text())
+    print(f"workload  : {trace.name} (seed {args.seed})")
+    print(f"ops       : {len(trace)} ({loads} loads, {stores} stores, "
+          f"{rmws} rmws)")
+    print(f"threads   : {len(trace.threads())}")
+    print(f"footprint : {blocks} blocks ({shared} shared between threads)")
+    print(f"trace     : {args.out}")
+    if args.matrix:
+        return _workload_matrix(
+            f"trace:{args.out}", _machine_config(args), "test", args.seed
+        )
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Differential conformance + race detection (exit 1 on violation)."""
     _configure_disk_cache(args)
     config = _machine_config(args)
-    names = list(PAPER_ORDER) if args.all else [args.benchmark]
+    if args.all:
+        # Paper kernels plus the golden-pinned synthetic workloads — the
+        # same cell set scripts/update_golden.py digests.
+        from repro.workloads import GOLDEN_SYNTH
+
+        names = list(PAPER_ORDER) + list(GOLDEN_SYNTH)
+    elif getattr(args, "workload", None):
+        names = [args.workload]
+    else:
+        names = [args.benchmark]
     report = _robustness_report(args)
-    from repro.common.errors import ReproError
 
     try:
         conformance = run_verify(
@@ -516,8 +695,33 @@ def _add_robust_args(parser) -> None:
                              "from it")
 
 
-def _add_bench_args(parser, default_protocol: str = "warden") -> None:
-    parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+def _workload_name(text: str) -> str:
+    """Argparse type for any runnable name: kernel, synth-*, trace:<path>.
+
+    Membership of the static registries is checked here (argparse exit 2
+    with the available names); ``trace:`` paths are validated at
+    resolution time so the diagnostic can name the offending line.
+    """
+    from repro.workloads import TRACE_PREFIX, workload_names
+
+    if text in BENCHMARKS or text in workload_names() \
+            or text.startswith(TRACE_PREFIX):
+        return text
+    raise argparse.ArgumentTypeError(
+        f"unknown benchmark or workload {text!r}; choose from "
+        f"{sorted(BENCHMARKS) + workload_names()} or '{TRACE_PREFIX}<path>'"
+    )
+
+
+def _add_bench_args(
+    parser, default_protocol: str = "warden", optional_benchmark: bool = False
+) -> None:
+    kwargs = {"nargs": "?", "default": None} if optional_benchmark else {}
+    parser.add_argument(
+        "benchmark", type=_workload_name, metavar="BENCHMARK",
+        help="a paper kernel, a synth-* workload, or trace:<path>",
+        **kwargs,
+    )
     parser.add_argument("--protocol", default=default_protocol,
                         choices=available_protocols())
     parser.add_argument("--size", default="default",
@@ -552,8 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robust_args(pf)
     pf.set_defaults(func=cmd_figure)
 
-    pr = sub.add_parser("run", help="run one benchmark")
-    _add_bench_args(pr)
+    pr = sub.add_parser("run", help="run one benchmark or workload")
+    _add_bench_args(pr, optional_benchmark=True)
+    pr.add_argument("--workload", type=_workload_name, default=None,
+                    help="workload to run (synth-* or trace:<path>); "
+                         "alternative spelling of the positional name")
     pr.add_argument("--json", action="store_true",
                     help="emit a JSONL run manifest instead of text")
     _add_cache_args(pr)
@@ -588,6 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--profile-top", type=_positive_int, default=25,
                     help="number of functions to show with --profile "
                          "(default: %(default)s)")
+    pb.add_argument("--workload", type=_workload_name, action="append",
+                    default=None, metavar="NAME",
+                    help="append a workload row (synth-* or trace:<path>, "
+                         "timed at the test size) to the suite; repeatable")
     _add_robust_args(pb)
     pb.set_defaults(func=cmd_bench)
 
@@ -631,12 +842,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay one benchmark through the vectorized kernel "
              "(bit-identical stats; records the trace on first use)",
     )
-    _add_bench_args(prp)
+    _add_bench_args(prp, optional_benchmark=True)
     prp.add_argument("--seed", type=int, default=42,
                      help="scheduler seed (default: %(default)s)")
     prp.add_argument("--trace-dir", default=None,
                      help="trace store directory (default: "
                           f"{DEFAULT_CACHE_DIR}/traces)")
+    prp.add_argument("--trace", default=None, metavar="FILE",
+                     help="replay a raw .wtrace file instead of a named "
+                          "benchmark (protocol comes from the trace meta)")
     prp.set_defaults(func=cmd_replay)
 
     pv = sub.add_parser(
@@ -647,9 +861,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     which = pv.add_mutually_exclusive_group(required=True)
     which.add_argument("--all", action="store_true",
-                       help="verify every paper benchmark")
+                       help="verify every paper benchmark plus the "
+                            "golden-pinned synthetic workloads")
     which.add_argument("--benchmark", choices=sorted(BENCHMARKS),
                        help="verify a single benchmark")
+    which.add_argument("--workload", type=_workload_name, metavar="NAME",
+                       help="verify a workload (synth-* or trace:<path>)")
     pv.add_argument("--protocol", default="warden",
                     choices=available_protocols(),
                     help="candidate protocol: the race-detector/oracle leg "
@@ -676,13 +893,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robust_args(pv)
     pv.set_defaults(func=cmd_verify)
 
+    pi = sub.add_parser(
+        "ingest",
+        help="parse an external text memory trace ('thread op address "
+             "[size]' lines) and optionally run it through the protocol zoo",
+    )
+    pi.add_argument("trace", help="path to the text trace file")
+    pi.add_argument("--protocol", default="warden",
+                    choices=available_protocols())
+    pi.add_argument("--machine", default="dual", choices=sorted(MACHINES),
+                    help="machine preset (default: dual-socket Table 2)")
+    pi.add_argument("--seed", type=int, default=42,
+                    help="scheduler seed (default: %(default)s)")
+    pi.add_argument("--run", action="store_true",
+                    help="simulate the trace under --protocol after parsing")
+    pi.add_argument("--matrix", action="store_true",
+                    help="run under every registered protocol on both the "
+                         "engine and replay paths; exit 1 on any "
+                         "engine-vs-replay stats divergence")
+    pi.set_defaults(func=cmd_ingest)
+
+    ps = sub.add_parser(
+        "synth",
+        help="generate a seeded synthetic service workload as a text trace "
+             "(runnable via 'ingest', 'run --workload trace:<path>', ...)",
+    )
+    from repro.workloads import GENERATORS as _GENERATORS
+
+    ps.add_argument("kind", choices=sorted(_GENERATORS),
+                    help="traffic shape to generate")
+    ps.add_argument("--seed", type=int, default=42,
+                    help="generator seed (default: %(default)s)")
+    ps.add_argument("--ops", type=_positive_int, default=150,
+                    metavar="N", help="ops per thread (default: %(default)s)")
+    ps.add_argument("--set", action="append", metavar="KNOB=VALUE",
+                    help="override a generator knob (e.g. skew=2.0, "
+                         "threads=16); repeatable")
+    ps.add_argument("--out", default=None, metavar="FILE",
+                    help="output path (default: <kind>.trace; '-' for stdout)")
+    ps.add_argument("--machine", default="dual", choices=sorted(MACHINES),
+                    help="machine preset for --matrix (default: dual)")
+    ps.add_argument("--matrix", action="store_true",
+                    help="after writing, run the trace under every "
+                         "registered protocol on both engine and replay "
+                         "paths; exit 1 on divergence")
+    ps.set_defaults(func=cmd_synth)
+
     sub.add_parser("area", help="§6.1 area estimates").set_defaults(func=cmd_area)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "out", None) is None and args.command == "synth":
+        args.out = f"{args.kind}.trace"
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Operational failure (malformed trace file, unknown protocol or
+        # workload, unreadable store...) — never a traceback.
+        print(f"{args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Type
 
 from repro.coherence.spec import ProtocolSpec, install_spec
+from repro.common.errors import UnknownProtocolError
 
 _REGISTRY: Dict[str, type] = {}
 
@@ -48,9 +49,7 @@ def protocol_class(key: str) -> Type:
     try:
         return _REGISTRY[key.lower()]
     except KeyError:
-        raise KeyError(
-            f"unknown protocol {key!r}; choose from {sorted(_REGISTRY)}"
-        ) from None
+        raise UnknownProtocolError(key, _REGISTRY) from None
 
 
 def protocol_spec(key: str) -> ProtocolSpec:

@@ -11,6 +11,25 @@ class ConfigError(ReproError):
     """An invalid machine or protocol configuration was supplied."""
 
 
+class UnknownProtocolError(ConfigError, KeyError):
+    """A protocol key not present in the coherence registry.
+
+    Subclasses ``KeyError`` so pre-existing ``except KeyError`` guards
+    around registry lookups keep working, and ``ConfigError`` so the CLI
+    treats it as an operational error (exit 2).  The message always
+    lists the registered keys.
+    """
+
+    def __init__(self, key, known) -> None:
+        message = f"unknown protocol {key!r}; choose from {sorted(known)}"
+        super().__init__(message)
+        self.key = key
+        self.known = sorted(known)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
 class ProtocolError(ReproError):
     """A coherence protocol invariant was violated (a simulator bug)."""
 

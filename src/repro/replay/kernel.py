@@ -42,6 +42,7 @@ from collections import Counter, deque
 from typing import List, Optional
 
 from repro.common.config import MachineConfig
+from repro.common.errors import UnknownProtocolError
 from repro.common.stats import CoreStats, RunStats
 from repro.common.types import MessageType
 from repro.coherence.mesi import MESIProtocol, llc_config
@@ -189,6 +190,13 @@ class ReplayKernel:
         key = meta.get("protocol")
         if key is None:
             key = "warden" if meta.get("supports_ward") else "mesi"
+        from repro.coherence.registry import available_protocols
+
+        known = available_protocols()
+        if key not in known:
+            # A trace recorded by a build with extra protocols (or doctored
+            # meta) must not silently replay under MESI semantics.
+            raise UnknownProtocolError(key, known)
         self.protocol_key = key
         self.is_warden = key == "warden"
         self.is_moesi = key == "moesi"

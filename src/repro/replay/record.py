@@ -30,7 +30,7 @@ import dataclasses
 from typing import List, Optional, Tuple
 
 from repro.analysis.pool import RunTask, code_fingerprint, task_fingerprint
-from repro.bench import BENCHMARKS
+from repro.bench import get_benchmark
 from repro.common.config import MachineConfig
 from repro.common.types import AccessType
 from repro.energy.model import EnergyModel
@@ -191,7 +191,7 @@ def record_benchmark(
         _protocol_key,
     )
 
-    bench = BENCHMARKS[name]
+    bench = get_benchmark(name)
     workload = bench.workload(size=size, seed=seed)
     machine = RecordingMachine(config, protocol)
     recorder = machine.recorder

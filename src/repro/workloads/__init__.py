@@ -1,0 +1,89 @@
+"""Workload front ends: external trace ingestion + synthetic generators.
+
+Two ways into the simulator beyond the 14 built-in paper kernels:
+
+* ``trace:<path>`` — any text memory trace in the common ``thread op
+  address [size]`` format, parsed by :mod:`repro.workloads.memtrace`
+  and adapted into a standard benchmark;
+* ``synth-*`` — seeded synthetic service workloads from
+  :mod:`repro.workloads.synth` (Zipfian, rw-mix, rings, false sharing,
+  phase shifts).
+
+:func:`resolve_workload` is the single name-resolution entry point the
+benchmark machinery (``repro.bench.get_benchmark``) delegates to.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.workloads.adapter import (
+    TRACE_ADDR_BASE,
+    benchmark_from_trace,
+    trace_root_task,
+)
+from repro.workloads.memtrace import (
+    MemTrace,
+    TraceFormatError,
+    load_trace_file,
+    parse_trace_text,
+)
+from repro.workloads.synth import (
+    GENERATORS,
+    GOLDEN_SYNTH,
+    SYNTH_WORKLOADS,
+    make_trace,
+)
+
+#: prefix selecting the external-trace front end in any benchmark-name slot
+TRACE_PREFIX = "trace:"
+
+
+def workload_names():
+    """Registered synthetic workload names, sorted."""
+    return sorted(SYNTH_WORKLOADS)
+
+
+def is_workload_name(name: str) -> bool:
+    """True when ``name`` resolves through this package, not BENCHMARKS."""
+    return name in SYNTH_WORKLOADS or name.startswith(TRACE_PREFIX)
+
+
+def resolve_workload(name: str):
+    """Resolve a workload name to a :class:`~repro.bench.common.Benchmark`.
+
+    Accepts registered synthetic names (``synth-zipf``, ...) and
+    ``trace:<path>`` external trace files (parsed on resolution, so a
+    malformed file surfaces as :class:`TraceFormatError` — an
+    operational :class:`~repro.common.errors.ReproError`, CLI exit 2).
+    """
+    if name in SYNTH_WORKLOADS:
+        return SYNTH_WORKLOADS[name]
+    if name.startswith(TRACE_PREFIX):
+        path = name[len(TRACE_PREFIX):]
+        if not path:
+            raise ConfigError("empty trace path in workload name 'trace:'")
+        trace = load_trace_file(path)
+        return benchmark_from_trace(trace, name)
+    raise ConfigError(
+        f"unknown workload {name!r}; expected one of {workload_names()} "
+        f"or '{TRACE_PREFIX}<path>'"
+    )
+
+
+__all__ = [
+    "GENERATORS",
+    "GOLDEN_SYNTH",
+    "MemTrace",
+    "SYNTH_WORKLOADS",
+    "TRACE_ADDR_BASE",
+    "TRACE_PREFIX",
+    "TraceFormatError",
+    "benchmark_from_trace",
+    "is_workload_name",
+    "load_trace_file",
+    "make_trace",
+    "parse_trace_text",
+    "resolve_workload",
+    "trace_root_task",
+    "workload_names",
+]

@@ -34,14 +34,16 @@ def test_corpus_metadata_is_pinned():
     assert GOLDEN["schema"] == "warden-repro/golden/v1"
     assert GOLDEN["machine"] == dual_socket().name
     assert GOLDEN["size"] == "test" and GOLDEN["seed"] == 42
-    # every benchmark appears under every registered protocol
+    # every benchmark and golden synthetic workload appears under every
+    # registered protocol
     from repro.bench import PAPER_ORDER
     from repro.coherence.registry import available_protocols
+    from repro.workloads import GOLDEN_SYNTH
 
     cells = {tuple(key.split("/")) for key in GOLDEN["entries"]}
     expected = {
         (name, proto)
-        for name in PAPER_ORDER
+        for name in list(PAPER_ORDER) + list(GOLDEN_SYNTH)
         for proto in available_protocols()
     }
     assert cells == expected
